@@ -1,0 +1,56 @@
+// Command benchrunner regenerates the paper's evaluation artefacts: every
+// table and figure of the evaluation section is one experiment that can be
+// run individually or as a suite.
+//
+// Usage:
+//
+//	benchrunner -list
+//	benchrunner -exp fig3            # one experiment, paper-scale
+//	benchrunner -exp fig9 -quick     # smaller data sets
+//	benchrunner -all -quick          # the whole evaluation section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "shrink data sets for a fast pass")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	opt := experiments.Options{Quick: *quick}
+	switch {
+	case *all:
+		for _, rep := range experiments.All(opt) {
+			fmt.Println(rep.String())
+		}
+	case *exp != "":
+		driver := experiments.ByID(*exp)
+		if driver == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := driver(opt)
+		fmt.Println(rep.String())
+		fmt.Printf("(%s regenerated in %v)\n", *exp, time.Since(start).Round(time.Millisecond))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

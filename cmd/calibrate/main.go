@@ -1,0 +1,20 @@
+// Command calibrate runs the paper's configuring experiment (Figure 8) on
+// the simulated memory hierarchy and extracts the Table III latency
+// parameters from the measured curve — the procedure the paper uses to
+// train its cost model on a new machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer accesses per region")
+	flag.Parse()
+	opt := experiments.Options{Quick: *quick}
+	fmt.Println(experiments.Fig8(opt).String())
+	fmt.Println(experiments.Table3(opt).String())
+}

@@ -1,0 +1,87 @@
+// Command layoutopt is the layout advisor: it derives extended reasonable
+// cuts from a benchmark workload, runs the BPi branch-and-bound search and
+// prints the chosen partial decomposition next to the N-ary and fully
+// decomposed baselines.
+//
+// Usage:
+//
+//	layoutopt -bench sapsd -table ADRC
+//	layoutopt -bench cnet  -table products
+//	layoutopt -bench ch    -table orderline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench/chbench"
+	"repro/internal/bench/cnet"
+	"repro/internal/bench/sapsd"
+	"repro/internal/costmodel"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "sapsd", "workload: sapsd, cnet or ch")
+		table     = flag.String("table", "ADRC", "table to decompose")
+		threshold = flag.Float64("threshold", 0.001, "BPi improvement threshold")
+	)
+	flag.Parse()
+
+	var cat *plan.Catalog
+	var w *workload.Workload
+	switch *bench {
+	case "sapsd":
+		d := sapsd.Generate(sapsd.Config{Customers: 5000, Seed: 1})
+		cat = d.Catalog("row", nil)
+		w = d.Workload(7)
+	case "cnet":
+		d := cnet.Generate(cnet.Config{Products: 20000, Attrs: 120, Categories: 30, MeanSparse: 6, Seed: 1})
+		cat = d.Catalog("row", nil)
+		cnet.RegisterIndexes(cat)
+		w = d.Workload(3)
+	case "ch":
+		d := chbench.Generate(chbench.DefaultConfig())
+		cat = d.Catalog("row", nil)
+		w = d.Workload()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	if !cat.Has(*table) {
+		fmt.Fprintf(os.Stderr, "benchmark %s has no table %q\n", *bench, *table)
+		os.Exit(1)
+	}
+
+	est := costmodel.NewEstimator(cat, mem.TableIII())
+	o := layout.NewOptimizer(est)
+	o.Threshold = *threshold
+	schema := cat.Table(*table).Schema
+	width := schema.Width()
+
+	fmt.Printf("table %s (%d attributes), workload %s (%d queries)\n\n", *table, width, w.Name, len(w.Queries))
+	fmt.Println("extended reasonable cuts:")
+	for i, c := range o.CutsFor(*table, w) {
+		fmt.Printf("  %2d: {%s}\n", i+1, strings.Join(schema.AttrNames(c.Attrs), ","))
+	}
+
+	best, cost := o.Optimize(*table, w)
+	fmt.Println("\nBPi solution:")
+	for _, g := range best.Groups {
+		fmt.Printf("  {%s}\n", strings.Join(schema.AttrNames(g), ","))
+	}
+	rowCost := w.Cost(est, map[string]storage.Layout{*table: storage.NSM(width)})
+	colCost := w.Cost(est, map[string]storage.Layout{*table: storage.DSM(width)})
+	fmt.Printf("\nestimated workload cost (cycles):\n")
+	fmt.Printf("  row (NSM):    %.4g\n", rowCost)
+	fmt.Printf("  column (DSM): %.4g\n", colCost)
+	fmt.Printf("  BPi hybrid:   %.4g  (%.1f%% of row, %.1f%% of column)\n",
+		cost, 100*cost/rowCost, 100*cost/colCost)
+}

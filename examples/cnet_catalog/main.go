@@ -1,0 +1,65 @@
+// CNET catalog: the paper's wide-and-sparse scenario (Figure 12, Table V)
+// — a product catalog relation with hundreds of attributes of which each
+// product sets about a dozen, queried by a simulated web application:
+// rare category analytics, frequent listings, very frequent detail pages.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench/cnet"
+	"repro/internal/costmodel"
+	"repro/internal/exec/jit"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/plan"
+)
+
+func main() {
+	cfg := cnet.Config{Products: 50_000, Attrs: 200, Categories: 40, MeanSparse: 6, Seed: 1}
+	d := cnet.Generate(cfg)
+	fmt.Printf("catalog: %d products x %d attributes (sparse)\n\n", cfg.Products, cfg.Attrs)
+
+	rowCat := d.Catalog("row", nil)
+	cnet.RegisterIndexes(rowCat)
+	est := costmodel.NewEstimator(rowCat, mem.TableIII())
+	best, _ := layout.NewOptimizer(est).Optimize("products", d.Workload(3))
+	fmt.Printf("BPi layout: %d partitions (vs %d-attribute N-ary row)\n\n", len(best.Groups), cfg.Attrs)
+
+	catalogs := map[string]*plan.Catalog{
+		"row":    rowCat,
+		"column": d.Catalog("column", nil),
+		"hybrid": d.Catalog("", &best),
+	}
+	cnet.RegisterIndexes(catalogs["column"])
+	cnet.RegisterIndexes(catalogs["hybrid"])
+
+	engine := jit.New()
+	qs := d.Queries(3)
+	layouts := []string{"row", "column", "hybrid"}
+
+	fmt.Printf("%-14s", "query (freq)")
+	for _, l := range layouts {
+		fmt.Printf(" %14s", l)
+	}
+	fmt.Println("   (weighted by Table V frequency)")
+	totals := map[string]time.Duration{}
+	for qi := 1; qi <= 4; qi++ {
+		freq := cnet.Frequencies[qi]
+		fmt.Printf("Q%d (%6gx)  ", qi, freq)
+		for _, l := range layouts {
+			start := time.Now()
+			engine.Run(qs[qi], catalogs[l])
+			w := time.Duration(float64(time.Since(start)) * freq)
+			totals[l] += w
+			fmt.Printf(" %14v", w.Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-14s", "Sum")
+	for _, l := range layouts {
+		fmt.Printf(" %14v", totals[l].Round(10*time.Microsecond))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,78 @@
+// Mixed workload: the CH-benchmark scenario the paper's introduction
+// motivates — OLTP transactions and OLAP queries on the same
+// memory-resident data. The example runs a transaction burst, then the
+// analytical queries on row, column and optimizer-chosen hybrid layouts.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench/chbench"
+	"repro/internal/costmodel"
+	"repro/internal/exec/jit"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func main() {
+	cfg := chbench.Config{Warehouses: 2, DistrictsPerW: 10, CustomersPerD: 150, OrdersPerD: 150, Items: 1000, Suppliers: 100, Seed: 1}
+	d := chbench.Generate(cfg)
+	rowCat := d.Catalog("row", nil)
+
+	// OLTP side: a burst of NewOrder/Payment transactions.
+	tx := chbench.NewTx(d, rowCat, 7)
+	start := time.Now()
+	const txns = 5000
+	if err := tx.Mix(txns); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ran %d transactions in %v (%.0f tx/s)\n", txns, elapsed.Round(time.Millisecond),
+		float64(txns)/elapsed.Seconds())
+	fmt.Printf("orderline now holds %d rows\n\n", rowCat.Table("orderline").Rows())
+
+	// Keep all layout siblings consistent with the mutated state.
+	d.Orders = rowCat.Table("orders")
+	d.Orderline = rowCat.Table("orderline")
+	d.Customer = rowCat.Table("customer")
+	d.District = rowCat.Table("district")
+	d.Stock = rowCat.Table("stock")
+
+	// Optimize layouts for the analytical mix.
+	est := costmodel.NewEstimator(rowCat, mem.TableIII())
+	opt := layout.NewOptimizer(est)
+	w := d.Workload()
+	overrides := map[string]storage.Layout{}
+	for _, tbl := range []string{"orderline", "orders", "customer"} {
+		best, _ := opt.Optimize(tbl, w)
+		overrides[tbl] = best
+		fmt.Printf("optimizer: %-10s -> %v\n", tbl, best)
+	}
+
+	catalogs := map[string]*plan.Catalog{
+		"row":    rowCat,
+		"column": d.Catalog("column", nil),
+		"hybrid": d.Catalog("row", overrides),
+	}
+
+	// OLAP side: the Figure 11 queries on each layout.
+	engine := jit.New()
+	qs := d.Queries()
+	fmt.Printf("\n%-8s", "CH query")
+	for _, l := range []string{"row", "column", "hybrid"} {
+		fmt.Printf("  %10s", l)
+	}
+	fmt.Println()
+	for _, qi := range chbench.QueryOrder {
+		fmt.Printf("Q%-7d", qi)
+		for _, l := range []string{"row", "column", "hybrid"} {
+			start := time.Now()
+			engine.Run(qs[qi], catalogs[l])
+			fmt.Printf("  %10v", time.Since(start).Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

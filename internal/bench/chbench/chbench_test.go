@@ -1,0 +1,176 @@
+package chbench
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/exec/bulk"
+	"repro/internal/exec/hyrise"
+	"repro/internal/exec/jit"
+	"repro/internal/exec/result"
+	"repro/internal/exec/volcano"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func smallCH() *Data {
+	return Generate(Config{Warehouses: 2, DistrictsPerW: 3, CustomersPerD: 30, OrdersPerD: 40, Items: 200, Suppliers: 20, Seed: 1})
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	d := smallCH()
+	if d.Warehouse.Rows() != 2 || d.District.Rows() != 6 {
+		t.Fatal("warehouse/district sizes wrong")
+	}
+	if d.Customer.Rows() != 2*3*30 || d.Orders.Rows() != 2*3*40 {
+		t.Fatal("customer/order sizes wrong")
+	}
+	if d.Stock.Rows() != 2*200 || d.Item.Rows() != 200 || d.Supplier.Rows() != 20 {
+		t.Fatal("stock/item/supplier sizes wrong")
+	}
+	// Orderline count = sum of o_ol_cnt.
+	var want int64
+	col := ordersSchema.Col("o_ol_cnt")
+	for r := 0; r < d.Orders.Rows(); r++ {
+		want += storage.DecodeInt(d.Orders.Value(r, col))
+	}
+	if int64(d.Orderline.Rows()) != want {
+		t.Fatalf("orderline rows %d != sum of o_ol_cnt %d", d.Orderline.Rows(), want)
+	}
+}
+
+func TestSurrogateKeysConsistent(t *testing.T) {
+	d := smallCH()
+	// Every orderline's ol_o_key exists in orders.o_key.
+	orders := map[storage.Word]bool{}
+	for r := 0; r < d.Orders.Rows(); r++ {
+		orders[d.Orders.Value(r, 0)] = true
+	}
+	for r := 0; r < d.Orderline.Rows(); r++ {
+		if !orders[d.Orderline.Value(r, 0)] {
+			t.Fatal("dangling orderline")
+		}
+	}
+	// Every order's customer exists.
+	custs := map[storage.Word]bool{}
+	for r := 0; r < d.Customer.Rows(); r++ {
+		custs[d.Customer.Value(r, 0)] = true
+	}
+	ock := ordersSchema.Col("o_c_key")
+	for r := 0; r < d.Orders.Rows(); r++ {
+		if !custs[d.Orders.Value(r, ock)] {
+			t.Fatal("order references unknown customer")
+		}
+	}
+}
+
+// TestQueriesAgreeAcrossEnginesAndLayouts: all eight CH queries give
+// identical results on all four engines and all three layout kinds.
+func TestQueriesAgreeAcrossEnginesAndLayouts(t *testing.T) {
+	d := smallCH()
+	engines := []exec.Engine{volcano.New(), bulk.New(), hyrise.New(), jit.New()}
+	hybrid := map[string]storage.Layout{
+		"orderline": storage.PDSM(
+			[]int{0, 4}, // ol_o_key, ol_delivery_d (scan keys)
+			[]int{1, 2, 3, 5, 6},
+			[]int{7},
+		),
+	}
+	cats := map[string]*plan.Catalog{
+		"row":    d.Catalog("row", nil),
+		"column": d.Catalog("column", nil),
+		"hybrid": d.Catalog("column", hybrid),
+	}
+	qs := d.Queries()
+	for _, qi := range QueryOrder {
+		var ref *result.Set
+		var refDesc string
+		for name, cat := range cats {
+			for _, e := range engines {
+				got := e.Run(qs[qi], cat)
+				if ref == nil {
+					ref, refDesc = got, e.Name()+"/"+name
+					continue
+				}
+				if !result.EqualUnordered(ref, got) {
+					t.Fatalf("CH Q%d: %s/%s (%d rows) != %s (%d rows)",
+						qi, e.Name(), name, got.Len(), refDesc, ref.Len())
+				}
+			}
+		}
+		if ref.Len() == 0 {
+			t.Errorf("CH Q%d returned no rows; weak parameters", qi)
+		}
+	}
+}
+
+// TestQ1GroupsAreLineNumbers: Q1 groups by ol_number, which is in [1,15].
+func TestQ1GroupsAreLineNumbers(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("column", nil)
+	res := jit.New().Run(d.Queries()[1], cat)
+	if res.Len() < 5 || res.Len() > 15 {
+		t.Fatalf("Q1 groups = %d, want 5..15", res.Len())
+	}
+	prev := int64(0)
+	for _, row := range res.Rows {
+		n := storage.DecodeInt(row[0])
+		if n <= prev {
+			t.Fatal("Q1 output must be sorted by ol_number")
+		}
+		prev = n
+	}
+}
+
+func TestTransactionsGrowAndUpdate(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("row", nil)
+	tx := NewTx(d, cat, 5)
+	ordersBefore := cat.Table("orders").Rows()
+	linesBefore := cat.Table("orderline").Rows()
+	if err := tx.Mix(100); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("orders").Rows() != ordersBefore+50 {
+		t.Errorf("NewOrder x50 grew orders by %d", cat.Table("orders").Rows()-ordersBefore)
+	}
+	grown := cat.Table("orderline").Rows() - linesBefore
+	if grown < 50*5 || grown > 50*15 {
+		t.Errorf("orderline grew by %d, want 250..750", grown)
+	}
+	// Payments must have decreased some customer balance below the initial
+	// -1000.
+	cust := cat.Table("customer")
+	balCol := customerSchema.Col("c_balance")
+	touched := false
+	for r := 0; r < cust.Rows(); r++ {
+		if storage.DecodeInt(cust.Value(r, balCol)) < -1000 {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		t.Error("Payment did not update any balance")
+	}
+}
+
+// TestAnalyticsSeeTransactionalInserts: the mixed-workload property — a
+// freshly inserted order is visible to the analytical scan.
+func TestAnalyticsSeeTransactionalInserts(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("row", nil)
+	q6 := d.Queries()[6]
+	before := jit.New().Run(q6, cat)
+	tx := NewTx(d, cat, 9)
+	for i := 0; i < 200; i++ {
+		if err := tx.NewOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := jit.New().Run(q6, cat)
+	b := storage.DecodeInt(before.Rows[0][0])
+	a := storage.DecodeInt(after.Rows[0][0])
+	if a <= b {
+		t.Errorf("Q6 revenue did not grow after inserts: %d -> %d", b, a)
+	}
+}

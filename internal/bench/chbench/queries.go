@@ -1,0 +1,205 @@
+package chbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Queries builds the Figure 11 analytical query set: CH queries 1, 2, 3,
+// 4, 5, 6, 8 and 10, adapted to the repository's operator set (see the
+// package comment for the adaptations).
+func (d *Data) Queries() map[int]plan.Node {
+	ol := orderlineSchema
+	o := ordersSchema
+	cu := customerSchema
+	it := itemSchema
+	st := stockSchema
+	su := supplierSchema
+
+	cutoff := storage.EncodeInt(20120000 + 365) // mid-horizon date parameter
+
+	qs := map[int]plan.Node{}
+
+	// Q1: pricing summary per ol_number over recently delivered lines.
+	qs[1] = plan.Sort{
+		Child: plan.Aggregate{
+			Child: plan.Scan{
+				Table:  "orderline",
+				Filter: expr.Cmp{Attr: ol.Col("ol_delivery_d"), Op: expr.Gt, Val: cutoff},
+				Cols:   []int{ol.Col("ol_number"), ol.Col("ol_quantity"), ol.Col("ol_amount")},
+			},
+			GroupBy: []int{0},
+			Aggs: []expr.AggSpec{
+				{Kind: expr.Sum, Arg: expr.IntCol(1), Name: "sum_qty"},
+				{Kind: expr.Sum, Arg: expr.IntCol(2), Name: "sum_amount"},
+				{Kind: expr.Avg, Arg: expr.IntCol(1), Name: "avg_qty"},
+				{Kind: expr.Avg, Arg: expr.IntCol(2), Name: "avg_amount"},
+				{Kind: expr.Count, Name: "count_order"},
+			},
+		},
+		Keys: []plan.SortKey{{Pos: 0}},
+	}
+
+	// Q2: supplier/item stock report over "original" items:
+	// item(filtered) ⋈ stock ⋈ supplier, grouped by supplier nation.
+	origSet := d.Item.Dict(it.Col("i_data")).MatchCodes(func(s string) bool {
+		return strings.HasPrefix(s, "ORIGINAL")
+	})
+	qs[2] = plan.Aggregate{
+		Child: plan.HashJoin{
+			Left: plan.Scan{Table: "supplier", Cols: []int{su.Col("su_suppkey"), su.Col("su_nationkey")}},
+			Right: plan.HashJoin{
+				Left: plan.Scan{
+					Table:  "item",
+					Filter: expr.InSet{Attr: it.Col("i_data"), Set: origSet},
+					Cols:   []int{it.Col("i_id"), it.Col("i_price")},
+				},
+				Right:    plan.Scan{Table: "stock", Cols: []int{st.Col("s_i_id"), st.Col("s_quantity"), st.Col("s_su_suppkey")}},
+				LeftKey:  0,
+				RightKey: 0,
+			},
+			LeftKey:  0,
+			RightKey: 4, // s_su_suppkey within (item ++ stock) output
+		},
+		GroupBy: []int{1}, // su_nationkey
+		Aggs: []expr.AggSpec{
+			{Kind: expr.Count, Name: "stocked"},
+			{Kind: expr.Sum, Arg: expr.IntCol(5), Name: "quantity"}, // s_quantity
+		},
+	}
+
+	// Q3: unshipped-order value: orders(filtered) ⋈ orderline grouped by order.
+	qs[3] = plan.Limit{N: 100, Child: plan.Sort{
+		Child: plan.Aggregate{
+			Child: plan.HashJoin{
+				Left: plan.Scan{
+					Table:  "orders",
+					Filter: expr.Cmp{Attr: o.Col("o_entry_d"), Op: expr.Gt, Val: cutoff},
+					Cols:   []int{o.Col("o_key"), o.Col("o_entry_d")},
+				},
+				Right:    plan.Scan{Table: "orderline", Cols: []int{ol.Col("ol_o_key"), ol.Col("ol_amount")}},
+				LeftKey:  0,
+				RightKey: 0,
+			},
+			GroupBy: []int{0, 1}, // o_key, o_entry_d
+			Aggs:    []expr.AggSpec{{Kind: expr.Sum, Arg: expr.IntCol(3), Name: "revenue"}},
+		},
+		Keys: []plan.SortKey{{Pos: 2, Desc: true}},
+	}}
+
+	// Q4: order-priority count by line count class.
+	qs[4] = plan.Sort{
+		Child: plan.Aggregate{
+			Child: plan.Scan{
+				Table:  "orders",
+				Filter: expr.Cmp{Attr: o.Col("o_entry_d"), Op: expr.Ge, Val: cutoff},
+				Cols:   []int{o.Col("o_ol_cnt")},
+			},
+			GroupBy: []int{0},
+			Aggs:    []expr.AggSpec{{Kind: expr.Count, Name: "order_count"}},
+		},
+		Keys: []plan.SortKey{{Pos: 0}},
+	}
+
+	// Q5: revenue by customer state: customer ⋈ orders ⋈ orderline.
+	qs[5] = plan.Aggregate{
+		Child: plan.HashJoin{
+			Left: plan.HashJoin{
+				Left:     plan.Scan{Table: "customer", Cols: []int{cu.Col("c_key"), cu.Col("c_state")}},
+				Right:    plan.Scan{Table: "orders", Cols: []int{o.Col("o_c_key"), o.Col("o_key")}},
+				LeftKey:  0,
+				RightKey: 0,
+			},
+			Right:    plan.Scan{Table: "orderline", Cols: []int{ol.Col("ol_o_key"), ol.Col("ol_amount")}},
+			LeftKey:  3, // o_key within (customer ++ orders)
+			RightKey: 0,
+		},
+		GroupBy: []int{1}, // c_state
+		Aggs:    []expr.AggSpec{{Kind: expr.Sum, Arg: expr.IntCol(5), Name: "revenue"}},
+	}
+
+	// Q6: forecast revenue change: one tight scan with range conjuncts.
+	qs[6] = plan.Aggregate{
+		Child: plan.Scan{
+			Table: "orderline",
+			Filter: expr.And{Preds: []expr.Pred{
+				expr.Cmp{Attr: ol.Col("ol_delivery_d"), Op: expr.Ge, Val: cutoff},
+				expr.Between{Attr: ol.Col("ol_quantity"), Lo: storage.EncodeInt(2), Hi: storage.EncodeInt(8)},
+			}},
+			Cols: []int{ol.Col("ol_amount")},
+		},
+		Aggs: []expr.AggSpec{{Kind: expr.Sum, Arg: expr.IntCol(0), Name: "revenue"}},
+	}
+
+	// Q8: "market share": delivery-year revenue over lines of ORIGINAL
+	// items — item(filtered) ⋈ orderline, grouped by delivery year.
+	qs[8] = plan.Sort{
+		Child: plan.Aggregate{
+			Child: plan.Project{
+				Child: plan.HashJoin{
+					Left: plan.Scan{
+						Table:  "item",
+						Filter: expr.InSet{Attr: it.Col("i_data"), Set: origSet},
+						Cols:   []int{it.Col("i_id")},
+					},
+					Right:    plan.Scan{Table: "orderline", Cols: []int{ol.Col("ol_i_id"), ol.Col("ol_delivery_d"), ol.Col("ol_amount")}},
+					LeftKey:  0,
+					RightKey: 0,
+				},
+				Exprs: []expr.Expr{
+					expr.Arith{Op: expr.Div, L: expr.IntCol(2), R: expr.IntConst(10000)}, // year
+					expr.IntCol(3), // amount
+				},
+				Names: []string{"year", "amount"},
+			},
+			GroupBy: []int{0},
+			Aggs:    []expr.AggSpec{{Kind: expr.Sum, Arg: expr.IntCol(1), Name: "mkt_share"}},
+		},
+		Keys: []plan.SortKey{{Pos: 0}},
+	}
+
+	// Q10: returned-item reporting: top customers by recent revenue.
+	qs[10] = plan.Limit{N: 20, Child: plan.Sort{
+		Child: plan.Aggregate{
+			Child: plan.HashJoin{
+				Left: plan.HashJoin{
+					Left: plan.Scan{Table: "customer", Cols: []int{cu.Col("c_key"), cu.Col("c_last"), cu.Col("c_city")}},
+					Right: plan.Scan{
+						Table:  "orders",
+						Filter: expr.Cmp{Attr: o.Col("o_entry_d"), Op: expr.Ge, Val: cutoff},
+						Cols:   []int{o.Col("o_c_key"), o.Col("o_key")},
+					},
+					LeftKey:  0,
+					RightKey: 0,
+				},
+				Right:    plan.Scan{Table: "orderline", Cols: []int{ol.Col("ol_o_key"), ol.Col("ol_amount")}},
+				LeftKey:  4, // o_key within (customer ++ orders)
+				RightKey: 0,
+			},
+			GroupBy: []int{0, 1, 2}, // c_key, c_last, c_city
+			Aggs:    []expr.AggSpec{{Kind: expr.Sum, Arg: expr.IntCol(6), Name: "revenue"}},
+		},
+		Keys: []plan.SortKey{{Pos: 3, Desc: true}},
+	}}
+
+	return qs
+}
+
+// QueryOrder lists the Figure 11 x-axis.
+var QueryOrder = []int{1, 2, 3, 4, 5, 6, 8, 10}
+
+// Workload returns the analytical queries with uniform weight plus the
+// transactional tables' insert path, for layout optimization.
+func (d *Data) Workload() *workload.Workload {
+	w := &workload.Workload{Name: "ch"}
+	qs := d.Queries()
+	for _, qi := range QueryOrder {
+		w.Add(fmt.Sprintf("Q%d", qi), qs[qi], 1)
+	}
+	return w
+}

@@ -1,0 +1,109 @@
+// Package chbench implements the CH-benchmark substrate (Cole et al.,
+// DBTest '11): the TPC-C schema extended with suppliers, a deterministic
+// data generator, compiled OLTP transactions (NewOrder, Payment — HyPer
+// executes transactions as precompiled code, which is what plain Go
+// functions over the storage API model), and the analytical queries the
+// paper plots in Figure 11 (CH queries 1, 2, 3, 4, 5, 6, 8 and 10),
+// adapted to this repository's operator set.
+//
+// Composite TPC-C keys are materialized as surrogate key attributes
+// (o_key = (w,d,o) etc.) because the join operator is single-key; the
+// access pattern — one hash probe per tuple — is unchanged. The CH
+// queries' correlated subqueries (Q2's min-supplycost) are simplified to
+// the join/filter/aggregate skeleton that determines their storage-layout
+// behaviour; DESIGN.md records these adaptations.
+package chbench
+
+import "repro/internal/storage"
+
+var (
+	warehouseSchema = storage.NewSchema("warehouse",
+		storage.Attribute{Name: "w_id", Type: storage.Int64},
+		storage.Attribute{Name: "w_name", Type: storage.String},
+		storage.Attribute{Name: "w_street", Type: storage.String},
+		storage.Attribute{Name: "w_city", Type: storage.String},
+		storage.Attribute{Name: "w_state", Type: storage.String},
+		storage.Attribute{Name: "w_zip", Type: storage.Int64},
+		storage.Attribute{Name: "w_tax", Type: storage.Int64},
+		storage.Attribute{Name: "w_ytd", Type: storage.Int64},
+	)
+	districtSchema = storage.NewSchema("district",
+		storage.Attribute{Name: "d_key", Type: storage.Int64}, // w*100+d
+		storage.Attribute{Name: "d_id", Type: storage.Int64},
+		storage.Attribute{Name: "d_w_id", Type: storage.Int64},
+		storage.Attribute{Name: "d_name", Type: storage.String},
+		storage.Attribute{Name: "d_street", Type: storage.String},
+		storage.Attribute{Name: "d_city", Type: storage.String},
+		storage.Attribute{Name: "d_state", Type: storage.String},
+		storage.Attribute{Name: "d_zip", Type: storage.Int64},
+		storage.Attribute{Name: "d_tax", Type: storage.Int64},
+		storage.Attribute{Name: "d_ytd", Type: storage.Int64},
+		storage.Attribute{Name: "d_next_o_id", Type: storage.Int64},
+	)
+	customerSchema = storage.NewSchema("customer",
+		storage.Attribute{Name: "c_key", Type: storage.Int64}, // surrogate (w,d,c)
+		storage.Attribute{Name: "c_id", Type: storage.Int64},
+		storage.Attribute{Name: "c_d_id", Type: storage.Int64},
+		storage.Attribute{Name: "c_w_id", Type: storage.Int64},
+		storage.Attribute{Name: "c_first", Type: storage.String},
+		storage.Attribute{Name: "c_middle", Type: storage.String},
+		storage.Attribute{Name: "c_last", Type: storage.String},
+		storage.Attribute{Name: "c_street", Type: storage.String},
+		storage.Attribute{Name: "c_city", Type: storage.String},
+		storage.Attribute{Name: "c_state", Type: storage.String},
+		storage.Attribute{Name: "c_zip", Type: storage.Int64},
+		storage.Attribute{Name: "c_phone", Type: storage.Int64},
+		storage.Attribute{Name: "c_since", Type: storage.Int64},
+		storage.Attribute{Name: "c_credit", Type: storage.String},
+		storage.Attribute{Name: "c_credit_lim", Type: storage.Int64},
+		storage.Attribute{Name: "c_discount", Type: storage.Int64},
+		storage.Attribute{Name: "c_balance", Type: storage.Int64},
+		storage.Attribute{Name: "c_ytd_payment", Type: storage.Int64},
+		storage.Attribute{Name: "c_payment_cnt", Type: storage.Int64},
+		storage.Attribute{Name: "c_data", Type: storage.String},
+	)
+	ordersSchema = storage.NewSchema("orders",
+		storage.Attribute{Name: "o_key", Type: storage.Int64}, // surrogate (w,d,o)
+		storage.Attribute{Name: "o_id", Type: storage.Int64},
+		storage.Attribute{Name: "o_d_id", Type: storage.Int64},
+		storage.Attribute{Name: "o_w_id", Type: storage.Int64},
+		storage.Attribute{Name: "o_c_key", Type: storage.Int64},
+		storage.Attribute{Name: "o_entry_d", Type: storage.Int64},
+		storage.Attribute{Name: "o_carrier_id", Type: storage.Int64},
+		storage.Attribute{Name: "o_ol_cnt", Type: storage.Int64},
+		storage.Attribute{Name: "o_all_local", Type: storage.Int64},
+	)
+	orderlineSchema = storage.NewSchema("orderline",
+		storage.Attribute{Name: "ol_o_key", Type: storage.Int64},
+		storage.Attribute{Name: "ol_number", Type: storage.Int64},
+		storage.Attribute{Name: "ol_i_id", Type: storage.Int64},
+		storage.Attribute{Name: "ol_supply_w_id", Type: storage.Int64},
+		storage.Attribute{Name: "ol_delivery_d", Type: storage.Int64},
+		storage.Attribute{Name: "ol_quantity", Type: storage.Int64},
+		storage.Attribute{Name: "ol_amount", Type: storage.Int64}, // cents
+		storage.Attribute{Name: "ol_dist_info", Type: storage.String},
+	)
+	itemSchema = storage.NewSchema("item",
+		storage.Attribute{Name: "i_id", Type: storage.Int64},
+		storage.Attribute{Name: "i_im_id", Type: storage.Int64},
+		storage.Attribute{Name: "i_name", Type: storage.String},
+		storage.Attribute{Name: "i_price", Type: storage.Int64},
+		storage.Attribute{Name: "i_data", Type: storage.String},
+	)
+	stockSchema = storage.NewSchema("stock",
+		storage.Attribute{Name: "s_key", Type: storage.Int64}, // surrogate (w,i)
+		storage.Attribute{Name: "s_i_id", Type: storage.Int64},
+		storage.Attribute{Name: "s_w_id", Type: storage.Int64},
+		storage.Attribute{Name: "s_quantity", Type: storage.Int64},
+		storage.Attribute{Name: "s_ytd", Type: storage.Int64},
+		storage.Attribute{Name: "s_order_cnt", Type: storage.Int64},
+		storage.Attribute{Name: "s_su_suppkey", Type: storage.Int64},
+		storage.Attribute{Name: "s_data", Type: storage.String},
+	)
+	supplierSchema = storage.NewSchema("supplier",
+		storage.Attribute{Name: "su_suppkey", Type: storage.Int64},
+		storage.Attribute{Name: "su_name", Type: storage.String},
+		storage.Attribute{Name: "su_nationkey", Type: storage.Int64},
+		storage.Attribute{Name: "su_acctbal", Type: storage.Int64},
+	)
+)

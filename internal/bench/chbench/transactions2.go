@@ -1,0 +1,164 @@
+package chbench
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Delivery runs one TPC-C-style Delivery: for a random warehouse, the
+// oldest undelivered order of each district gets a carrier assigned and
+// its order lines a delivery date; the customer balance receives the order
+// total. (Without a NEW_ORDER table the "oldest undelivered" order is the
+// lowest o_id whose carrier is still 0.)
+func (t *Tx) Delivery() error {
+	cfg := t.data.Config
+	w := t.rng.Intn(cfg.Warehouses)
+	carrier := storage.EncodeInt(int64(t.rng.Intn(10) + 1))
+	day := storage.EncodeInt(int64(20140000 + t.rng.Intn(365)))
+
+	oKeyCol := ordersSchema.Col("o_key")
+	carrierCol := ordersSchema.Col("o_carrier_id")
+	custCol := ordersSchema.Col("o_c_key")
+	widCol := ordersSchema.Col("o_w_id")
+
+	// One pass over orders per call: pick the first pending order per
+	// district of the warehouse (index-free delivery queue drain, matching
+	// the append-ordered storage).
+	pending := map[storage.Word]int{} // d_key-ish: o_key -> row
+	for row := 0; row < t.orders.Rows(); row++ {
+		if storage.DecodeInt(t.orders.Value(row, widCol)) != int64(w) {
+			continue
+		}
+		if t.orders.Value(row, carrierCol) != storage.EncodeInt(0) {
+			continue
+		}
+		key := t.orders.Value(row, oKeyCol)
+		district := storage.DecodeInt(key) / 10000000
+		dk := storage.Word(district)
+		if _, ok := pending[dk]; !ok {
+			pending[dk] = row
+		}
+	}
+	olKeyCol := orderlineSchema.Col("ol_o_key")
+	olDelCol := orderlineSchema.Col("ol_delivery_d")
+	olAmtCol := orderlineSchema.Col("ol_amount")
+	balCol := customerSchema.Col("c_balance")
+	for _, row := range pending {
+		t.orders.SetValue(row, carrierCol, carrier)
+		oKey := t.orders.Value(row, oKeyCol)
+		var total int64
+		for lr := 0; lr < t.orderline.Rows(); lr++ {
+			if t.orderline.Value(lr, olKeyCol) != oKey {
+				continue
+			}
+			t.orderline.SetValue(lr, olDelCol, day)
+			total += storage.DecodeInt(t.orderline.Value(lr, olAmtCol))
+		}
+		cRows := t.custIdx.Lookup(t.orders.Value(row, custCol), nil)
+		if len(cRows) == 1 {
+			cr := int(cRows[0])
+			t.customer.SetValue(cr, balCol,
+				storage.EncodeInt(storage.DecodeInt(t.customer.Value(cr, balCol))+total))
+		}
+	}
+	return nil
+}
+
+// OrderStatus runs one TPC-C-style Order-Status: read a customer's most
+// recent order and its lines (read-only point access through indexes plus
+// short scans).
+func (t *Tx) OrderStatus() (lines int, err error) {
+	cfg := t.data.Config
+	w := t.rng.Intn(cfg.Warehouses)
+	di := t.rng.Intn(cfg.DistrictsPerW)
+	c := t.rng.Intn(cfg.CustomersPerD)
+	want := storage.EncodeInt(cKey(w, di, c))
+
+	custCol := ordersSchema.Col("o_c_key")
+	oKeyCol := ordersSchema.Col("o_key")
+	var lastRow = -1
+	for row := 0; row < t.orders.Rows(); row++ {
+		if t.orders.Value(row, custCol) == want {
+			lastRow = row
+		}
+	}
+	if lastRow < 0 {
+		return 0, nil // customer without orders
+	}
+	oKey := t.orders.Value(lastRow, oKeyCol)
+	olKeyCol := orderlineSchema.Col("ol_o_key")
+	for lr := 0; lr < t.orderline.Rows(); lr++ {
+		if t.orderline.Value(lr, olKeyCol) == oKey {
+			lines++
+		}
+	}
+	if lines == 0 {
+		return 0, fmt.Errorf("chbench: order %d has no lines", storage.DecodeInt(oKey))
+	}
+	return lines, nil
+}
+
+// StockLevel runs one TPC-C-style Stock-Level: count the distinct items of
+// a district's recent orders whose stock is below a threshold.
+func (t *Tx) StockLevel(threshold int64) (low int, err error) {
+	cfg := t.data.Config
+	w := t.rng.Intn(cfg.Warehouses)
+	di := t.rng.Intn(cfg.DistrictsPerW)
+
+	// Recent orders of the district: the 20 highest o_ids.
+	base := oKey(w, di, 0)
+	limit := oKey(w, di, 1<<30)
+	oKeyCol := orderlineSchema.Col("ol_o_key")
+	itemCol := orderlineSchema.Col("ol_i_id")
+	var maxO int64 = -1
+	for lr := 0; lr < t.orderline.Rows(); lr++ {
+		k := storage.DecodeInt(t.orderline.Value(lr, oKeyCol))
+		if k >= base && k < limit && k > maxO {
+			maxO = k
+		}
+	}
+	if maxO < 0 {
+		return 0, nil
+	}
+	cutoff := maxO - 20
+	items := map[int64]bool{}
+	for lr := 0; lr < t.orderline.Rows(); lr++ {
+		k := storage.DecodeInt(t.orderline.Value(lr, oKeyCol))
+		if k >= base && k < limit && k > cutoff {
+			items[storage.DecodeInt(t.orderline.Value(lr, itemCol))] = true
+		}
+	}
+	qtyCol := stockSchema.Col("s_quantity")
+	for item := range items {
+		sRows := t.stockIdx.Lookup(storage.EncodeInt(sKey(w, int(item))), nil)
+		if len(sRows) == 1 && storage.DecodeInt(t.stock.Value(int(sRows[0]), qtyCol)) < threshold {
+			low++
+		}
+	}
+	return low, nil
+}
+
+// FullMix runs n transactions with a TPC-C-like ratio: 45% NewOrder, 43%
+// Payment, 4% each of Delivery, OrderStatus and StockLevel.
+func (t *Tx) FullMix(n int) error {
+	for i := 0; i < n; i++ {
+		var err error
+		switch pct := i % 100; {
+		case pct < 45:
+			err = t.NewOrder()
+		case pct < 88:
+			err = t.Payment()
+		case pct < 92:
+			err = t.Delivery()
+		case pct < 96:
+			_, err = t.OrderStatus()
+		default:
+			_, err = t.StockLevel(50)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package chbench
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestDeliveryAssignsCarriersAndPaysCustomers(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("row", nil)
+	tx := NewTx(d, cat, 11)
+
+	carrierCol := ordersSchema.Col("o_carrier_id")
+	zeroBefore := 0
+	for r := 0; r < cat.Table("orders").Rows(); r++ {
+		if cat.Table("orders").Value(r, carrierCol) == storage.EncodeInt(0) {
+			zeroBefore++
+		}
+	}
+	// Create some known-undelivered orders, then deliver.
+	for i := 0; i < 10; i++ {
+		if err := tx.NewOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := tx.Delivery(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zeroAfter := 0
+	for r := 0; r < cat.Table("orders").Rows(); r++ {
+		if cat.Table("orders").Value(r, carrierCol) == storage.EncodeInt(0) {
+			zeroAfter++
+		}
+	}
+	if zeroAfter >= zeroBefore+10 {
+		t.Errorf("delivery did not drain pending orders: %d before+10 inserted, %d after", zeroBefore, zeroAfter)
+	}
+}
+
+func TestOrderStatusFindsLines(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("row", nil)
+	tx := NewTx(d, cat, 12)
+	found := false
+	for i := 0; i < 20; i++ {
+		lines, err := tx.OrderStatus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines >= 5 && lines <= 15 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no order-status call returned a plausible line count")
+	}
+}
+
+func TestStockLevelCountsLowStock(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("row", nil)
+	tx := NewTx(d, cat, 13)
+	// With threshold above the generator's max quantity (100), every
+	// distinct recent item counts as low.
+	low, err := tx.StockLevel(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low == 0 {
+		t.Error("threshold above max quantity must flag items")
+	}
+	none, err := tx.StockLevel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != 0 {
+		t.Errorf("threshold 0 must flag nothing, got %d", none)
+	}
+}
+
+func TestFullMixRuns(t *testing.T) {
+	d := smallCH()
+	cat := d.Catalog("row", nil)
+	tx := NewTx(d, cat, 14)
+	ordersBefore := cat.Table("orders").Rows()
+	if err := tx.FullMix(200); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("orders").Rows() <= ordersBefore {
+		t.Error("full mix should have inserted orders")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// Adaptive reorganization implements the paper's future-work proposal of
+// "online/adaptive reorganization of the decomposition strategy": the
+// database observes the queries it executes, maintains frequency counts,
+// and periodically re-runs the layout optimizer against the observed mix —
+// so the physical design follows workload drift without a DBA declaring a
+// workload up front.
+
+// AdaptiveStats reports the observation state.
+type AdaptiveStats struct {
+	Observed        int // queries seen since EnableAdaptive
+	Distinct        int // distinct query shapes
+	Reorganizations int // optimizer runs that changed at least one table
+	LastChanges     []LayoutChange
+}
+
+type adaptiveState struct {
+	every    int
+	observed int
+	counts   map[string]*workload.Query
+	order    []string
+	stats    AdaptiveStats
+}
+
+// EnableAdaptive turns on workload observation; after every
+// reorganizeEvery executed queries the layout optimizer runs against the
+// observed frequencies and re-layouts tables when it finds an improvement.
+func (db *DB) EnableAdaptive(reorganizeEvery int) {
+	if reorganizeEvery < 1 {
+		reorganizeEvery = 1
+	}
+	db.adaptive = &adaptiveState{every: reorganizeEvery, counts: map[string]*workload.Query{}}
+}
+
+// AdaptiveStats returns the current observation state (zero value when
+// adaptive mode is off).
+func (db *DB) AdaptiveStats() AdaptiveStats {
+	if db.adaptive == nil {
+		return AdaptiveStats{}
+	}
+	st := db.adaptive.stats
+	st.Observed = db.adaptive.observed
+	st.Distinct = len(db.adaptive.counts)
+	return st
+}
+
+// observe records one executed query and triggers reorganization on the
+// configured period. Inserts are observed too: they make the optimizer
+// see the write path's append cost.
+func (db *DB) observe(p plan.Node) {
+	a := db.adaptive
+	if a == nil {
+		return
+	}
+	a.observed++
+	key := fingerprint(p)
+	if q := a.counts[key]; q != nil {
+		q.Frequency++
+	} else {
+		a.counts[key] = &workload.Query{Name: key, Plan: p, Frequency: 1}
+		a.order = append(a.order, key)
+	}
+	if a.observed%a.every == 0 {
+		db.reorganize()
+	}
+}
+
+// reorganize swaps the declared workload for the observed one and runs the
+// optimizer.
+func (db *DB) reorganize() {
+	a := db.adaptive
+	w := &workload.Workload{Name: "observed"}
+	for _, key := range a.order {
+		q := a.counts[key]
+		w.Queries = append(w.Queries, *q)
+	}
+	saved := db.mix
+	db.mix = w
+	changes := db.OptimizeLayouts()
+	db.mix = saved
+	if len(changes) > 0 {
+		a.stats.Reorganizations++
+		a.stats.LastChanges = changes
+	}
+}
+
+// fingerprint produces a structural key for a plan: parameters are
+// positional (attribute indices, operators) so re-executions of the same
+// prepared query with different constants still collapse when the caller
+// reuses the plan value; distinct shapes never collide on table/attribute
+// structure.
+func fingerprint(p plan.Node) string {
+	switch v := p.(type) {
+	case plan.Scan:
+		return fmt.Sprintf("scan(%s,f=%s,c=%v)", v.Table, predShape(v.Filter), v.Cols)
+	case plan.Select:
+		return fmt.Sprintf("sel(%s,%s)", fingerprint(v.Child), predShape(v.Pred))
+	case plan.Project:
+		return fmt.Sprintf("proj(%s,%d)", fingerprint(v.Child), len(v.Exprs))
+	case plan.HashJoin:
+		return fmt.Sprintf("join(%s,%s,%d,%d)", fingerprint(v.Left), fingerprint(v.Right), v.LeftKey, v.RightKey)
+	case plan.Aggregate:
+		return fmt.Sprintf("agg(%s,g=%v,n=%d)", fingerprint(v.Child), v.GroupBy, len(v.Aggs))
+	case plan.Sort:
+		return fmt.Sprintf("sort(%s,%v)", fingerprint(v.Child), v.Keys)
+	case plan.Limit:
+		return fmt.Sprintf("limit(%s,%d)", fingerprint(v.Child), v.N)
+	case plan.Insert:
+		return fmt.Sprintf("insert(%s)", v.Table)
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// predShape renders a predicate's structure (attributes and operators,
+// not bound constants), so parameterized re-executions collapse onto one
+// workload entry.
+func predShape(p expr.Pred) string {
+	switch v := p.(type) {
+	case nil:
+		return "-"
+	case expr.True:
+		return "T"
+	case expr.Cmp:
+		return fmt.Sprintf("cmp(%d,%v)", v.Attr, v.Op)
+	case expr.Between:
+		return fmt.Sprintf("btw(%d)", v.Attr)
+	case expr.InSet:
+		return fmt.Sprintf("in(%d)", v.Attr)
+	case expr.NotNull:
+		return fmt.Sprintf("nn(%d)", v.Attr)
+	case expr.And:
+		parts := make([]string, len(v.Preds))
+		for i, c := range v.Preds {
+			parts[i] = predShape(c)
+		}
+		return "and(" + strings.Join(parts, ",") + ")"
+	case expr.Or:
+		parts := make([]string, len(v.Preds))
+		for i, c := range v.Preds {
+			parts[i] = predShape(c)
+		}
+		return "or(" + strings.Join(parts, ",") + ")"
+	}
+	return fmt.Sprintf("%T", p)
+}

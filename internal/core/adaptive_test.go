@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec/result"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func TestAdaptiveReorganizesUnderDriftingWorkload(t *testing.T) {
+	db, schema := buildDB(30000)
+	_ = schema
+	db.EnableAdaptive(50)
+	q := buyQuery(db, &storage.Schema{})
+
+	before := db.Table("events").Layout.Kind()
+	if before != "row" {
+		t.Fatal("test premise: table starts N-ary")
+	}
+	var ref *result.Set
+	for i := 0; i < 120; i++ {
+		res := db.Query(q)
+		if ref == nil {
+			ref = res
+		} else if !result.EqualUnordered(ref, res) {
+			t.Fatal("adaptive re-layout changed query results")
+		}
+	}
+	st := db.AdaptiveStats()
+	if st.Observed != 120 || st.Distinct != 1 {
+		t.Fatalf("stats = %+v, want 120 observed / 1 distinct", st)
+	}
+	if st.Reorganizations == 0 {
+		t.Fatal("expected at least one reorganization")
+	}
+	if db.Table("events").Layout.Kind() == "row" {
+		t.Error("layout should have adapted away from pure NSM for the scan-heavy mix")
+	}
+}
+
+func TestAdaptiveFingerprintCollapsesParameters(t *testing.T) {
+	db, _ := buildDB(1000)
+	db.EnableAdaptive(1000) // never reorganize during this test
+	for v := int64(0); v < 20; v++ {
+		db.Query(plan.Scan{
+			Table:  "events",
+			Filter: expr.Cmp{Attr: 2, Op: expr.Eq, Val: storage.EncodeInt(v)},
+			Cols:   []int{0, 2},
+		})
+	}
+	db.Query(plan.Scan{Table: "events", Cols: []int{0}})
+	st := db.AdaptiveStats()
+	if st.Distinct != 2 {
+		t.Fatalf("distinct shapes = %d, want 2 (parameterized scans must collapse)", st.Distinct)
+	}
+	if st.Observed != 21 {
+		t.Fatalf("observed = %d, want 21", st.Observed)
+	}
+}
+
+func TestAdaptiveOffIsNoop(t *testing.T) {
+	db, _ := buildDB(100)
+	for i := 0; i < 10; i++ {
+		db.Query(plan.Scan{Table: "events", Cols: []int{0}})
+	}
+	if st := db.AdaptiveStats(); st.Observed != 0 || st.Reorganizations != 0 {
+		t.Fatalf("adaptive-off stats = %+v, want zeros", st)
+	}
+}
+
+func TestFingerprintDistinguishesShapes(t *testing.T) {
+	scan := plan.Scan{Table: "t", Cols: []int{0, 1}}
+	cases := []plan.Node{
+		scan,
+		plan.Scan{Table: "t", Cols: []int{0}},
+		plan.Scan{Table: "u", Cols: []int{0, 1}},
+		plan.Select{Child: scan, Pred: expr.Cmp{Attr: 0, Op: expr.Lt, Val: 5}},
+		plan.Aggregate{Child: scan, GroupBy: []int{0}, Aggs: []expr.AggSpec{{Kind: expr.Count}}},
+		plan.Sort{Child: scan, Keys: []plan.SortKey{{Pos: 1}}},
+		plan.Limit{Child: scan, N: 3},
+		plan.HashJoin{Left: scan, Right: scan, LeftKey: 0, RightKey: 1},
+		plan.Insert{Table: "t"},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		fp := fingerprint(c)
+		if seen[fp] {
+			t.Fatalf("fingerprint collision: %s", fp)
+		}
+		seen[fp] = true
+	}
+	// Same shape, different constant: identical fingerprint.
+	a := fingerprint(plan.Select{Child: scan, Pred: expr.Cmp{Attr: 0, Op: expr.Lt, Val: 5}})
+	b := fingerprint(plan.Select{Child: scan, Pred: expr.Cmp{Attr: 0, Op: expr.Lt, Val: 99}})
+	if a != b {
+		t.Error("bound constants must not affect the fingerprint")
+	}
+}

@@ -1,0 +1,221 @@
+// Package core is the library facade: a memory-resident relational
+// database that combines the paper's three contributions — partially
+// decomposed storage (PDSM), JiT-style compiled query execution, and
+// cost-model-driven layout optimization — behind one small API.
+//
+// Typical use:
+//
+//	db := core.Open()
+//	db.CreateTable(schema, cols...)          // loads under NSM
+//	res := db.Query(plan)                    // compiled execution
+//	db.AddWorkload(w)                        // declare the query mix
+//	report := db.OptimizeLayouts()           // BPi over every table
+//	res = db.Query(plan)                     // now runs on PDSM
+//
+// Alternative processors (Volcano, bulk, HYRISE-style) are available via
+// QueryWith for experiments that compare processing models, and the cost
+// model is exposed via EstimateCost/AccessPattern for explain-style
+// inspection.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/exec"
+	"repro/internal/exec/bulk"
+	"repro/internal/exec/hyrise"
+	"repro/internal/exec/jit"
+	"repro/internal/exec/result"
+	"repro/internal/exec/vector"
+	"repro/internal/exec/volcano"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// DB is a memory-resident database instance.
+type DB struct {
+	catalog  *plan.Catalog
+	geometry mem.Geometry
+	engine   exec.Engine
+	mix      *workload.Workload
+	adaptive *adaptiveState
+}
+
+// Open creates an empty database using the paper's Table III hardware
+// model and the JiT engine.
+func Open() *DB {
+	return &DB{
+		catalog:  plan.NewCatalog(),
+		geometry: mem.TableIII(),
+		engine:   jit.New(),
+		mix:      &workload.Workload{Name: "default"},
+	}
+}
+
+// Catalog exposes the underlying catalog (advanced use).
+func (db *DB) Catalog() *plan.Catalog { return db.catalog }
+
+// Geometry returns the hardware model used for cost estimation.
+func (db *DB) Geometry() mem.Geometry { return db.geometry }
+
+// CreateTable loads a relation built with storage.Builder into the
+// database under the N-ary layout and returns it.
+func (db *DB) CreateTable(b *storage.Builder) *storage.Relation {
+	rel := b.Build(storage.NSM(b.Schema().Width()))
+	db.catalog.Add(rel)
+	return rel
+}
+
+// AddTable registers an existing relation.
+func (db *DB) AddTable(rel *storage.Relation) { db.catalog.Add(rel) }
+
+// Table returns a registered relation.
+func (db *DB) Table(name string) *storage.Relation { return db.catalog.Table(name) }
+
+// CreateHashIndex builds and registers a hash index on table.attr.
+func (db *DB) CreateHashIndex(table string, attr int) {
+	rel := db.catalog.Table(table)
+	db.catalog.AddIndex(table, attr, index.BuildOn(index.NewHashIndex(rel.Rows()), rel, attr))
+}
+
+// CreateTreeIndex builds and registers a red-black tree index.
+func (db *DB) CreateTreeIndex(table string, attr int) {
+	rel := db.catalog.Table(table)
+	db.catalog.AddIndex(table, attr, index.BuildOn(index.NewRBTree(), rel, attr))
+}
+
+// Query executes a plan with the compiled (JiT-style) engine. In adaptive
+// mode (EnableAdaptive) the query is added to the observed workload and
+// may trigger a background re-layout.
+func (db *DB) Query(p plan.Node) *result.Set {
+	res := db.engine.Run(p, db.catalog)
+	db.observe(p)
+	return res
+}
+
+// Engines lists the available processing models by name.
+func Engines() map[string]exec.Engine {
+	return map[string]exec.Engine{
+		"jit":     jit.New(),
+		"volcano": volcano.New(),
+		"bulk":    bulk.New(),
+		"hyrise":  hyrise.New(),
+		"vector":  vector.New(),
+	}
+}
+
+// QueryWith executes a plan under a named processing model ("jit",
+// "volcano", "bulk", "hyrise").
+func (db *DB) QueryWith(engineName string, p plan.Node) (*result.Set, error) {
+	e, ok := Engines()[engineName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown engine %q", engineName)
+	}
+	return e.Run(p, db.catalog), nil
+}
+
+// AddWorkload declares the query mix used by OptimizeLayouts.
+func (db *DB) AddWorkload(name string, p plan.Node, frequency float64) {
+	db.mix.Add(name, p, frequency)
+}
+
+// AccessPattern returns the cost model's pattern program for a plan — the
+// paper's "programmable cost model" view of the query.
+func (db *DB) AccessPattern(p plan.Node) string {
+	return costmodel.Translate(p, db.catalog, nil).String()
+}
+
+// EstimateCost prices a plan (in modeled CPU cycles) under the current
+// layouts.
+func (db *DB) EstimateCost(p plan.Node) float64 {
+	return costmodel.CostOfPlan(p, db.catalog, nil, db.geometry)
+}
+
+// LayoutChange records one table's re-layout decision.
+type LayoutChange struct {
+	Table   string
+	Old     storage.Layout
+	New     storage.Layout
+	OldCost float64
+	NewCost float64
+}
+
+// OptimizeLayouts runs BPi over every table referenced by the declared
+// workload and materializes the chosen layouts, returning the per-table
+// decisions. Registered indexes are rebuilt on the re-laid-out relations.
+func (db *DB) OptimizeLayouts() []LayoutChange {
+	est := costmodel.NewEstimator(db.catalog, db.geometry)
+	o := layout.NewOptimizer(est)
+	var changes []LayoutChange
+	for _, tbl := range tablesOf(db.mix, db.catalog) {
+		rel := db.catalog.Table(tbl)
+		oldLayout := rel.Layout
+		oldCost := db.mix.Cost(est, map[string]storage.Layout{tbl: oldLayout})
+		best, newCost := o.Optimize(tbl, db.mix)
+		if !best.Equal(oldLayout) && newCost < oldCost {
+			reindexed := rel.WithLayout(best)
+			db.catalog.Add(reindexed)
+			rebuildIndexes(db.catalog, tbl, reindexed)
+			changes = append(changes, LayoutChange{
+				Table: tbl, Old: oldLayout, New: best, OldCost: oldCost, NewCost: newCost,
+			})
+		}
+	}
+	return changes
+}
+
+func rebuildIndexes(c *plan.Catalog, table string, rel *storage.Relation) {
+	for attr := 0; attr < rel.Schema.Width(); attr++ {
+		if idx := c.Index(table, attr); idx != nil {
+			switch idx.Kind() {
+			case "hash":
+				c.AddIndex(table, attr, index.BuildOn(index.NewHashIndex(rel.Rows()), rel, attr))
+			case "rbtree":
+				c.AddIndex(table, attr, index.BuildOn(index.NewRBTree(), rel, attr))
+			}
+		}
+	}
+}
+
+// tablesOf collects the base tables the workload touches.
+func tablesOf(w *workload.Workload, c *plan.Catalog) []string {
+	seen := map[string]bool{}
+	var order []string
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		switch v := n.(type) {
+		case plan.Scan:
+			if !seen[v.Table] {
+				seen[v.Table] = true
+				order = append(order, v.Table)
+			}
+		case plan.Select:
+			walk(v.Child)
+		case plan.Project:
+			walk(v.Child)
+		case plan.HashJoin:
+			walk(v.Left)
+			walk(v.Right)
+		case plan.Aggregate:
+			walk(v.Child)
+		case plan.Sort:
+			walk(v.Child)
+		case plan.Limit:
+			walk(v.Child)
+		case plan.Insert:
+			if !seen[v.Table] {
+				seen[v.Table] = true
+				order = append(order, v.Table)
+			}
+		}
+	}
+	for _, q := range w.Queries {
+		walk(q.Plan)
+	}
+	return order
+}

@@ -1,0 +1,299 @@
+// Package costmodel implements the paper's "programmable" holistic cost
+// model: the Generic Cost Model of Manegold et al. (VLDB '02) extended with
+//
+//   - the s_trav_cr atom for selective projections (Equations 1–4),
+//   - a prefetching-aware cost function that hides sequential LLC miss
+//     latency behind processing (Equations 5–6), and
+//   - Cardenas' formula for distinct-block estimation of repetitive random
+//     accesses (Equation 7), replacing the binomial-coefficient form of the
+//     original model.
+//
+// The model consumes access patterns (package pattern) and a memory
+// geometry (package mem) and produces per-level miss counts and a total
+// cost in CPU cycles. Treating the pattern algebra as an instruction set,
+// package costmodel also "compiles" relational query plans into pattern
+// programs (see translate.go), which is how the paper estimates the cost of
+// JiT-compiled queries holistically rather than operator-by-operator.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/pattern"
+)
+
+// LevelMisses counts estimated misses of one cache level, split into
+// sequential (prefetched — the prefetcher loaded the line before the demand
+// access) and random (demand-fetched) misses, the distinction Equations
+// 2–4 are built on.
+type LevelMisses struct {
+	Seq  float64 // M^s_i
+	Rand float64 // M^r_i
+}
+
+// Total returns all misses of the level.
+func (m LevelMisses) Total() float64 { return m.Seq + m.Rand }
+
+// Misses aggregates the model's intermediate metrics for a pattern: the
+// register-level work M0 (values loaded and processed) and per-level miss
+// counts, plus TLB misses.
+type Misses struct {
+	Work   float64       // M0: data words entering the registers
+	Levels []LevelMisses // one per cache level, fastest first
+	TLB    float64
+}
+
+func (m Misses) add(o Misses) Misses {
+	if m.Levels == nil {
+		m.Levels = make([]LevelMisses, len(o.Levels))
+	}
+	for i := range o.Levels {
+		m.Levels[i].Seq += o.Levels[i].Seq
+		m.Levels[i].Rand += o.Levels[i].Rand
+	}
+	m.Work += o.Work
+	m.TLB += o.TLB
+	return m
+}
+
+// Cardenas estimates the number of distinct items hit when drawing r times
+// uniformly from n items (Equation 7):
+//
+//	I(r, n) = n · (1 − (1 − 1/n)^r)
+//
+// It replaces the original model's binomial-coefficient formulation, which
+// is numerically intractable for large relations.
+func Cardenas(r, n float64) float64 {
+	if n <= 0 || r <= 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	return n * (1 - math.Pow(1-1/n, r))
+}
+
+// MissesOf estimates the misses the pattern p induces on the hierarchy g.
+// Misses are additive over both sequential (⊕) and concurrent (⊙)
+// composition; interference between concurrent patterns (mutual cache
+// pollution) is not modeled, matching the paper's usage.
+func MissesOf(p pattern.Pattern, g mem.Geometry) Misses {
+	total := Misses{Levels: make([]LevelMisses, len(g.Levels))}
+	for _, a := range pattern.Atoms(p) {
+		total = total.add(atomMisses(a, g))
+	}
+	return total
+}
+
+func atomMisses(a pattern.Pattern, g mem.Geometry) Misses {
+	m := Misses{Levels: make([]LevelMisses, len(g.Levels))}
+	for i, spec := range g.Levels {
+		m.Levels[i] = atomLevelMisses(a, spec)
+	}
+	tlb := atomLevelMisses(a, g.TLB)
+	m.TLB = tlb.Total()
+	m.Work = atomWork(a)
+	return m
+}
+
+// words returns the register words processed per accessed item.
+func words(u int64) float64 {
+	if u < 8 {
+		return 1
+	}
+	return math.Ceil(float64(u) / 8)
+}
+
+// atomWork computes M0, the number of values entering the CPU registers.
+func atomWork(a pattern.Pattern) float64 {
+	switch v := a.(type) {
+	case pattern.STrav:
+		return float64(v.N) * words(v.U)
+	case pattern.RTrav:
+		return float64(v.N) * words(v.U)
+	case pattern.RRAcc:
+		return float64(v.R) * words(v.U)
+	case pattern.STravCR:
+		return v.S * float64(v.N) * words(v.U)
+	default:
+		panic(fmt.Sprintf("costmodel: non-atomic pattern %T", a))
+	}
+}
+
+// uniqueBlocks returns the number of distinct cache blocks of size b that a
+// full traversal of the region (n items of width w, u accessed bytes each)
+// touches.
+func uniqueBlocks(n, w, u, b int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if w <= b {
+		// Multiple items per block: every block of the region holds at
+		// least one accessed item, so all region blocks are touched.
+		return math.Ceil(float64(n*w) / float64(b))
+	}
+	// Items wider than a block: each item touches its own ceil(u/b) blocks.
+	return float64(n) * math.Ceil(float64(max64(u, 1))/float64(b))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// atomLevelMisses evaluates the per-level miss equations for one atom.
+func atomLevelMisses(a pattern.Pattern, spec mem.Spec) LevelMisses {
+	b := spec.BlockSize
+	switch v := a.(type) {
+	case pattern.STrav:
+		// A pure sequential traversal is fully covered by the adjacent-line
+		// prefetcher: all block fetches are sequential misses.
+		return LevelMisses{Seq: uniqueBlocks(v.N, v.W, v.U, b)}
+
+	case pattern.RTrav:
+		// Every block is fetched, but the random order defeats the
+		// prefetcher: all misses are random.
+		return LevelMisses{Rand: uniqueBlocks(v.N, v.W, v.U, b)}
+
+	case pattern.RRAcc:
+		// Original-model semantics: the expected number of distinct items
+		// hit by the R draws comes from Cardenas (Eq. 7); their footprint
+		// in bytes, divided by the block size, gives the cold misses. This
+		// dense-packing conversion is exactly the behaviour Figure 6
+		// exposes as underestimating selective projections — we keep it so
+		// the rr_acc-vs-s_trav_cr comparison reproduces. If the region
+		// exceeds the cache capacity, re-accesses beyond the distinct set
+		// miss again with probability 1 − C/|region|.
+		if v.R <= 0 {
+			return LevelMisses{}
+		}
+		distinct := Cardenas(float64(v.R), float64(v.N))
+		misses := distinct * float64(v.W) / float64(b)
+		if misses < 1 {
+			misses = 1
+		}
+		region := float64(v.N * v.W)
+		if region > float64(spec.Capacity) {
+			reMissP := 1 - float64(spec.Capacity)/region
+			misses += (float64(v.R) - distinct) * reMissP
+		}
+		return LevelMisses{Rand: misses}
+
+	case pattern.STravCR:
+		return stravCRMisses(v, spec)
+
+	default:
+		panic(fmt.Sprintf("costmodel: non-atomic pattern %T", a))
+	}
+}
+
+// stravCRMisses implements Equations 1–4 for the Sequential Traversal with
+// Conditional Reads.
+//
+// With g = B_i / R.w items per block (the paper's Eq. 1 writes the exponent
+// as B_i, implicitly measured in items), the probability that a block is
+// accessed at all is
+//
+//	P_i   = 1 − (1−s)^g                       (Eq. 1)
+//	P^s_i = P_i²                              (Eq. 2: block and predecessor accessed)
+//	P^r_i = P_i − P^s_i                       (Eq. 3)
+//	M^x_i = P^x_i · (R.w·R.n)/B_i             (Eq. 4)
+//
+// When items are wider than a block the equations degenerate to per-item
+// block runs: an item is read with probability s and its blocks are
+// sequential when the previous item was also read (probability s²).
+func stravCRMisses(v pattern.STravCR, spec mem.Spec) LevelMisses {
+	s := clamp01(v.S)
+	b := spec.BlockSize
+	if v.N <= 0 || s == 0 {
+		return LevelMisses{}
+	}
+	if v.W > b {
+		perItem := math.Ceil(float64(max64(v.U, 1)) / float64(b))
+		total := float64(v.N) * perItem
+		return LevelMisses{
+			Seq:  s * s * total,
+			Rand: (s - s*s) * total,
+		}
+	}
+	g := float64(b) / float64(v.W)
+	pi := 1 - math.Pow(1-s, g)
+	ps := pi * pi
+	pr := pi - ps
+	blocks := float64(v.N*v.W) / float64(b)
+	return LevelMisses{Seq: ps * blocks, Rand: pr * blocks}
+}
+
+func clamp01(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Cost evaluates the prefetching-aware cost function (Equations 5–6) for
+// the pattern p on geometry g, returning estimated CPU cycles.
+//
+// With levels numbered 0 = registers (M0, latency l1), 1 = L1, 2 = L2,
+// 3 = LLC and l4 the memory access latency:
+//
+//	T^s_3  = max(0, M^s_3·l4 − Σ_{i=0..2} M_i·l_{i+1})   (Eq. 5)
+//	T_Mem  = Σ_{i=0..2} M_i·l_{i+1} + T^s_3 + M^r_3·l4
+//	         + M_TLB·l_Mem                                (Eq. 6)
+//
+// Sequential (prefetched) LLC misses cost nothing when the processing work
+// of the faster layers exceeds the time to stream the lines from memory —
+// the query is then CPU-bound, the situation Figure 1 calls CPU efficiency.
+// The paper's Eq. 5 prints the hidden term as M^s_3·l_3; we charge the
+// latency actually being hidden (the memory fetch, l4), which only scales
+// the hidden term and preserves the max(0, ·) crossover behaviour.
+func Cost(p pattern.Pattern, g mem.Geometry) float64 {
+	return CostOfMisses(MissesOf(p, g), g)
+}
+
+// CostNaive evaluates the pre-extension cost function of the original
+// Generic Cost Model: every miss is charged at the latency of the level
+// below it, with no prefetch hiding — sequential and random LLC misses
+// cost the same. Kept as the ablation baseline for the paper's
+// prefetching-aware Equation 5/6 (Section IV-C.2).
+func CostNaive(p pattern.Pattern, g mem.Geometry) float64 {
+	m := MissesOf(p, g)
+	total := m.Work * g.RegisterLatency
+	for i := 0; i < len(g.Levels)-1; i++ {
+		total += m.Levels[i].Total() * g.Levels[i+1].Latency
+	}
+	total += m.Levels[len(g.Levels)-1].Total() * g.Memory.Latency
+	total += m.TLB * g.Memory.Latency
+	return total
+}
+
+// CostOfMisses applies Equations 5–6 to precomputed miss counts.
+func CostOfMisses(m Misses, g mem.Geometry) float64 {
+	if len(m.Levels) != len(g.Levels) {
+		panic("costmodel: miss vector does not match geometry")
+	}
+	last := len(g.Levels) - 1
+
+	// Σ_{i=0..2} M_i·l_{i+1}: register work at l1 plus misses of every
+	// cache level above the LLC, each charged at the latency of the level
+	// below it.
+	faster := m.Work * g.RegisterLatency
+	for i := 0; i < last; i++ {
+		faster += m.Levels[i].Total() * g.Levels[i+1].Latency
+	}
+
+	memLat := g.Memory.Latency
+	llc := m.Levels[last]
+	ts := llc.Seq*memLat - faster
+	if ts < 0 {
+		ts = 0
+	}
+	return faster + ts + llc.Rand*memLat + m.TLB*memLat
+}

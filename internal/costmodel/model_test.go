@@ -1,0 +1,284 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pattern"
+)
+
+func g() mem.Geometry { return mem.TableIII() }
+
+func TestCardenas(t *testing.T) {
+	cases := []struct {
+		r, n, want float64
+		tol        float64
+	}{
+		{0, 100, 0, 0},
+		{1, 100, 1, 1e-9},
+		{1e9, 100, 100, 1e-6}, // saturation at n
+		{100, 1, 1, 0},        // single block
+		{50, 1e12, 50, 0.01},  // sparse: virtually all distinct
+	}
+	for _, c := range cases {
+		got := Cardenas(c.r, c.n)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Cardenas(%v,%v) = %v, want %v", c.r, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCardenasProperties(t *testing.T) {
+	f := func(rRaw, nRaw uint32) bool {
+		r := float64(rRaw%100000) + 1
+		n := float64(nRaw%100000) + 1
+		i := Cardenas(r, n)
+		return i > 0 && i <= math.Min(r, n)+1e-9 &&
+			Cardenas(r+1, n) >= i-1e-12 // monotone in r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTravMisses(t *testing.T) {
+	// 1M items x 8 bytes on Table III: LLC blocks = 8MB/64 region...
+	// region = 8 MB, LLC lines touched = 8MB/64B = 131072, all sequential.
+	p := pattern.STrav{N: 1 << 20, W: 8, U: 8}
+	m := MissesOf(p, g())
+	llc := m.Levels[2]
+	if llc.Rand != 0 {
+		t.Errorf("s_trav random misses = %v, want 0", llc.Rand)
+	}
+	if want := float64(1<<23) / 64; llc.Seq != want {
+		t.Errorf("s_trav LLC seq misses = %v, want %v", llc.Seq, want)
+	}
+	// L1 (8-byte blocks): every word is its own block.
+	if want := float64(1 << 20); m.Levels[0].Seq != want {
+		t.Errorf("s_trav L1 misses = %v, want %v", m.Levels[0].Seq, want)
+	}
+	if m.Work != float64(1<<20) {
+		t.Errorf("work = %v, want %v", m.Work, float64(1<<20))
+	}
+}
+
+func TestRTravAllRandom(t *testing.T) {
+	p := pattern.RTrav{N: 1000, W: 64, U: 64}
+	m := MissesOf(p, g())
+	llc := m.Levels[2]
+	if llc.Seq != 0 || llc.Rand != 1000 {
+		t.Errorf("r_trav misses = %+v, want 1000 random", llc)
+	}
+}
+
+// TestSTravCREquations verifies Equations 1-4 against hand-computed values.
+func TestSTravCREquations(t *testing.T) {
+	// 16-byte items, 64-byte lines: g = 4 items/line.
+	// s = 0.1: P = 1-0.9^4 = 0.3439; Ps = P^2 = 0.11826721;
+	// Pr = P - P^2 = 0.22563279. N = 4096 items -> 1024 blocks.
+	p := pattern.STravCR{N: 4096, W: 16, U: 16, S: 0.1}
+	m := MissesOf(p, g())
+	llc := m.Levels[2]
+	P := 1 - math.Pow(0.9, 4)
+	wantSeq := P * P * 1024
+	wantRand := (P - P*P) * 1024
+	if math.Abs(llc.Seq-wantSeq) > 1e-9 {
+		t.Errorf("seq misses = %v, want %v", llc.Seq, wantSeq)
+	}
+	if math.Abs(llc.Rand-wantRand) > 1e-9 {
+		t.Errorf("rand misses = %v, want %v", llc.Rand, wantRand)
+	}
+}
+
+func TestSTravCRLimits(t *testing.T) {
+	// s=1 must coincide with s_trav; s=0 must cost nothing.
+	n, w := int64(100000), int64(16)
+	full := MissesOf(pattern.STrav{N: n, W: w, U: w}, g())
+	cr1 := MissesOf(pattern.STravCR{N: n, W: w, U: w, S: 1}, g())
+	for i := range full.Levels {
+		if math.Abs(full.Levels[i].Total()-cr1.Levels[i].Total()) > 1e-6 {
+			t.Errorf("level %d: s=1 misses %v != s_trav misses %v", i, cr1.Levels[i].Total(), full.Levels[i].Total())
+		}
+		if cr1.Levels[i].Rand != 0 {
+			t.Errorf("level %d: s=1 should have no random misses, got %v", i, cr1.Levels[i].Rand)
+		}
+	}
+	cr0 := MissesOf(pattern.STravCR{N: n, W: w, U: w, S: 0}, g())
+	if cr0.Work != 0 || cr0.Levels[2].Total() != 0 {
+		t.Error("s=0 traversal must induce no work and no misses")
+	}
+}
+
+// TestSTravCRShape reproduces the qualitative shape of Figure 6: both miss
+// kinds rise steeply for s in (0, 0.05); past the peak, random misses
+// decline in favour of sequential ones; at s=1 all misses are sequential.
+func TestSTravCRShape(t *testing.T) {
+	miss := func(s float64) LevelMisses {
+		m := MissesOf(pattern.STravCR{N: 1 << 22, W: 16, U: 16, S: s}, g())
+		return m.Levels[2]
+	}
+	low := miss(0.01)
+	mid := miss(0.05)
+	high := miss(0.75)
+	one := miss(1.0)
+	if !(mid.Rand > low.Rand) {
+		t.Error("random misses should still be rising at s=0.05")
+	}
+	if !(high.Rand < mid.Rand) {
+		t.Error("random misses should decline for high selectivities")
+	}
+	if !(high.Seq > mid.Seq) {
+		t.Error("sequential misses should keep rising with selectivity")
+	}
+	if one.Rand != 0 {
+		t.Errorf("at s=1 all misses are sequential, got %v random", one.Rand)
+	}
+}
+
+// TestSTravCRBeatsRRAccModel reproduces the paper's point that modeling a
+// selective projection as rr_acc badly underestimates total misses at low
+// selectivity (Fig. 6 discussion).
+func TestSTravCRBeatsRRAccModel(t *testing.T) {
+	n := int64(1 << 22)
+	s := 0.02
+	r := int64(s * float64(n))
+	cr := MissesOf(pattern.STravCR{N: n, W: 16, U: 16, S: s}, g()).Levels[2]
+	rr := MissesOf(pattern.RRAcc{N: n, W: 16, U: 16, R: r}, g()).Levels[2]
+	if !(cr.Total() > 1.5*rr.Total()) {
+		t.Errorf("s_trav_cr misses (%v) should far exceed rr_acc estimate (%v) at s=%v", cr.Total(), rr.Total(), s)
+	}
+}
+
+func TestRRAccCacheResidentRegion(t *testing.T) {
+	// A one-item output region (16 B) hit 262144 times: one cold miss.
+	p := pattern.RRAcc{N: 1, W: 16, U: 16, R: 262144}
+	m := MissesOf(p, g())
+	if got := m.Levels[2].Rand; got != 1 {
+		t.Errorf("resident region misses = %v, want 1 (cold only)", got)
+	}
+}
+
+func TestRRAccHugeRegionReMisses(t *testing.T) {
+	// Line-sized items over a 1 GB region >> 8 MB LLC: nearly every one of
+	// the r accesses must miss.
+	p := pattern.RRAcc{N: 1 << 24, W: 64, U: 64, R: 1 << 20}
+	m := MissesOf(p, g())
+	if got := m.Levels[2].Rand; got < float64(1<<20)*0.9 {
+		t.Errorf("rr_acc on huge region: %v misses for %d accesses, want ~all", got, 1<<20)
+	}
+}
+
+func TestMissesAdditiveOverComposition(t *testing.T) {
+	a := pattern.STrav{N: 1000, W: 8, U: 8}
+	b := pattern.RRAcc{N: 100, W: 8, U: 8, R: 500}
+	seq := MissesOf(pattern.Sequence(a, b), g())
+	par := MissesOf(pattern.Concurrent(a, b), g())
+	ma := MissesOf(a, g())
+	mb := MissesOf(b, g())
+	wantWork := ma.Work + mb.Work
+	if seq.Work != wantWork || par.Work != wantWork {
+		t.Error("work must be additive over ⊕ and ⊙")
+	}
+	for i := range seq.Levels {
+		want := ma.Levels[i].Total() + mb.Levels[i].Total()
+		if seq.Levels[i].Total() != want || par.Levels[i].Total() != want {
+			t.Errorf("level %d misses not additive", i)
+		}
+	}
+}
+
+// TestCostCPUBoundScan: for a narrow sequential scan, processing dominates
+// and the prefetched LLC misses must be fully hidden (T_s3 = 0), so cost
+// equals the faster-layer term exactly.
+func TestCostCPUBoundScan(t *testing.T) {
+	p := pattern.STrav{N: 1 << 20, W: 8, U: 8}
+	m := MissesOf(p, g())
+	geo := g()
+	faster := m.Work*geo.RegisterLatency +
+		m.Levels[0].Total()*geo.Levels[1].Latency +
+		m.Levels[1].Total()*geo.Levels[2].Latency
+	hidden := m.Levels[2].Seq * geo.Memory.Latency
+	if hidden >= faster {
+		t.Fatalf("test premise broken: hidden %v !< faster %v", hidden, faster)
+	}
+	want := faster + m.TLB*geo.Memory.Latency
+	if got := Cost(p, geo); math.Abs(got-want) > 1e-6 {
+		t.Errorf("cost = %v, want %v (fully hidden LLC misses)", got, want)
+	}
+}
+
+// TestCostMemoryBoundRandom: random access costs must include the full
+// memory latency per miss — far more than the same number of sequential
+// accesses.
+func TestCostMemoryBoundRandom(t *testing.T) {
+	n := int64(1 << 21)
+	seqCost := Cost(pattern.STrav{N: n, W: 64, U: 8}, g())
+	rndCost := Cost(pattern.RTrav{N: n, W: 64, U: 8}, g())
+	if !(rndCost > 1.5*seqCost) {
+		t.Errorf("random traversal (%v) should cost much more than sequential (%v)", rndCost, seqCost)
+	}
+}
+
+func TestCostMonotoneInN(t *testing.T) {
+	f := func(nRaw uint32) bool {
+		n := int64(nRaw%1000000) + 1
+		c1 := Cost(pattern.STravCR{N: n, W: 16, U: 16, S: 0.3}, g())
+		c2 := Cost(pattern.STravCR{N: n + 1000, W: 16, U: 16, S: 0.3}, g())
+		return c2 >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostMonotoneInSelectivity(t *testing.T) {
+	f := func(sRaw uint16) bool {
+		s := float64(sRaw%1000) / 1000
+		c1 := Cost(pattern.STravCR{N: 1 << 20, W: 16, U: 16, S: s}, g())
+		c2 := Cost(pattern.STravCR{N: 1 << 20, W: 16, U: 16, S: math.Min(1, s+0.05)}, g())
+		return c2 >= c1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbabilityIdentities: Eq. 1-3 identities hold for all s.
+func TestProbabilityIdentities(t *testing.T) {
+	f := func(sRaw uint16, wSel uint8) bool {
+		s := float64(sRaw%1001) / 1000
+		w := int64(8 * (int(wSel)%8 + 1))
+		lm := stravCRMisses(pattern.STravCR{N: 10000, W: w, U: w, S: s}, g().Levels[2])
+		blocks := uniqueBlocks(10000, w, w, 64)
+		p := (lm.Seq + lm.Rand) / blocks
+		return p >= -1e-9 && p <= 1+1e-9 && lm.Seq >= 0 && lm.Rand >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelVsSimulator cross-validates the s_trav_cr equations against the
+// simulated hierarchy on a mid-size region: predicted LLC miss split vs.
+// measured, within a generous band (the paper's Fig. 6 reports the same
+// qualitative agreement, not exactness).
+func TestModelVsSimulator(t *testing.T) {
+	geo := g()
+	for _, s := range []float64{0.02, 0.1, 0.5, 0.9} {
+		p := pattern.STravCR{N: 1 << 20, W: 16, U: 16, S: s}
+		pred := MissesOf(p, geo).Levels[2]
+		h := mem.NewHierarchy(geo)
+		pattern.Simulate(p, h, 11)
+		meas := h.LLCStats()
+		measTotal := float64(meas.DemandMisses + meas.PrefetchedHits)
+		if pred.Total() == 0 && measTotal == 0 {
+			continue
+		}
+		ratio := pred.Total() / measTotal
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("s=%v: predicted total misses %v vs simulated %v (ratio %.2f)", s, pred.Total(), measTotal, ratio)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/pattern"
+	"repro/internal/storage"
+)
+
+// TestModelRankingMatchesSimulation closes the loop the optimizer relies
+// on: for the example query, the cost model's layout ranking (estimated
+// cycles) must agree with the simulator's cycle counts when the translated
+// access patterns are actually replayed against the modeled hierarchy. If
+// the model mis-ranked layouts here, BPi's decisions would be meaningless.
+func TestModelRankingMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays multi-million-access streams")
+	}
+	geo := mem.TableIII()
+	c := exampleCatalog(200000, storage.NSM(16))
+	q := exampleQuery()
+
+	layouts := map[string]storage.Layout{
+		"row":    storage.NSM(16),
+		"hybrid": pdsmExample(),
+		"column": storage.DSM(16),
+	}
+	modelCost := map[string]float64{}
+	simCost := map[string]float64{}
+	for name, l := range layouts {
+		over := map[string]storage.Layout{"R": l}
+		p := Translate(q, c, over)
+		modelCost[name] = Cost(p, geo)
+		h := mem.NewHierarchy(geo)
+		pattern.Simulate(p, h, 3)
+		simCost[name] = h.Cycles()
+	}
+
+	type rel struct{ cheap, costly string }
+	for _, r := range []rel{{"hybrid", "row"}, {"column", "row"}} {
+		if !(modelCost[r.cheap] < modelCost[r.costly]) {
+			t.Errorf("model: %s (%g) should be cheaper than %s (%g)",
+				r.cheap, modelCost[r.cheap], r.costly, modelCost[r.costly])
+		}
+		if !(simCost[r.cheap] < simCost[r.costly]) {
+			t.Errorf("simulator: %s (%g) should be cheaper than %s (%g)",
+				r.cheap, simCost[r.cheap], r.costly, simCost[r.costly])
+		}
+	}
+	// Beyond ranking, the model should land within a small factor of the
+	// simulated cycles for every layout (the simulator uses the same
+	// geometry and prefetch assumptions).
+	for name := range layouts {
+		ratio := modelCost[name] / simCost[name]
+		if ratio < 0.25 || ratio > 4 {
+			t.Errorf("%s: model/simulated = %.2f, want within [0.25, 4]", name, ratio)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package exec holds the execution-engine interface and the helpers shared
+// by all engines: insert execution with index maintenance, index-access
+// planning for scans, sorting, and group-key encoding. The four engines in
+// the subpackages differ deliberately in their per-tuple control flow —
+// that difference is the paper's subject — but share these
+// semantics-defining pieces so differential tests compare like with like.
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/exec/result"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Engine executes logical plans against a catalog.
+type Engine interface {
+	Name() string
+	Run(n plan.Node, c *plan.Catalog) *result.Set
+}
+
+// RunInsert appends the tuples of v to the table and maintains every
+// registered index; all engines share this path (the paper's Q6
+// measurements differ only in the scan-side processing model).
+func RunInsert(v plan.Insert, c *plan.Catalog) *result.Set {
+	rel := c.Table(v.Table)
+	for _, row := range v.Rows {
+		id := rel.AppendRow(row)
+		for attr := 0; attr < rel.Schema.Width(); attr++ {
+			if idx := c.Index(v.Table, attr); idx != nil {
+				idx.Insert(row[attr], int32(id))
+			}
+		}
+	}
+	out := result.New(plan.Output(v, c))
+	out.Append([]storage.Word{storage.EncodeInt(int64(len(v.Rows)))})
+	return out
+}
+
+// IndexAccess describes an index-satisfiable scan: the equality key on an
+// indexed attribute and the residual predicate to apply to fetched rows.
+type IndexAccess struct {
+	Attr int
+	Key  storage.Word
+	Rest expr.Pred
+}
+
+// PlanIndexAccess inspects a scan filter and returns an index access path
+// if the filter is an equality (or a conjunction containing one) on an
+// attribute with a registered index. This is the whole "planner": the
+// paper's index experiments toggle index use by registering or omitting
+// indexes in the catalog.
+func PlanIndexAccess(c *plan.Catalog, table string, filter expr.Pred) (IndexAccess, bool) {
+	switch v := filter.(type) {
+	case expr.Cmp:
+		if v.Op == expr.Eq && c.Index(table, v.Attr) != nil {
+			return IndexAccess{Attr: v.Attr, Key: v.Val, Rest: nil}, true
+		}
+	case expr.And:
+		for i, child := range v.Preds {
+			cmp, ok := child.(expr.Cmp)
+			if !ok || cmp.Op != expr.Eq || c.Index(table, cmp.Attr) == nil {
+				continue
+			}
+			rest := make([]expr.Pred, 0, len(v.Preds)-1)
+			rest = append(rest, v.Preds[:i]...)
+			rest = append(rest, v.Preds[i+1:]...)
+			return IndexAccess{Attr: cmp.Attr, Key: cmp.Val, Rest: expr.Conj(rest...)}, true
+		}
+	}
+	return IndexAccess{}, false
+}
+
+// SortRows orders rows in place by the sort keys (encoded words are
+// order-preserving for every type).
+func SortRows(rows [][]storage.Word, keys []plan.SortKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, b := rows[i][k.Pos], rows[j][k.Pos]
+			if a == b {
+				continue
+			}
+			if k.Desc {
+				return a > b
+			}
+			return a < b
+		}
+		return false
+	})
+}
+
+// MaxGroupCols bounds the group-by arity of the fixed-size group key.
+const MaxGroupCols = 4
+
+// GroupKey is a fixed-size composite key for hash aggregation.
+type GroupKey [MaxGroupCols]storage.Word
+
+// MakeGroupKey builds the composite key from the group columns of a row.
+func MakeGroupKey(row []storage.Word, groupBy []int) GroupKey {
+	var k GroupKey
+	for i, g := range groupBy {
+		k[i] = row[g]
+	}
+	return k
+}

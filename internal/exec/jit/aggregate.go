@@ -1,0 +1,217 @@
+package jit
+
+import (
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// fastScanAggregate handles: pipeline without stages, index or interpreted
+// residue; no grouping; aggregates restricted to count(*) and sum/count
+// over integer columns. It compiles to the paper's single fused loop: scan,
+// compare, accumulate — all operators merged, values never leaving the
+// "registers".
+func fastScanAggregate(p *pipe, v plan.Aggregate) ([][]storage.Word, bool) {
+	if len(p.stages) != 0 || p.complex != nil || p.useIndex || len(v.GroupBy) != 0 {
+		return nil, false
+	}
+	type sumSlot struct {
+		data   []storage.Word
+		stride int
+		off    int
+	}
+	var sums []sumSlot
+	var sumIdx []int // aggregate position of each sum
+	countPos := -1
+	for i, spec := range v.Aggs {
+		switch spec.Kind {
+		case expr.Count:
+			if countPos >= 0 {
+				return nil, false
+			}
+			countPos = i
+		case expr.Sum:
+			col, ok := spec.Arg.(expr.Col)
+			if !ok || col.Ty != storage.Int64 {
+				return nil, false
+			}
+			if col.Attr >= len(p.loads) {
+				return nil, false
+			}
+			l := p.loads[col.Attr]
+			sums = append(sums, sumSlot{data: l.data, stride: l.stride, off: l.off})
+			sumIdx = append(sumIdx, i)
+		default:
+			return nil, false
+		}
+	}
+
+	accs := make([]int64, len(sums))
+	var count int64
+	n := p.rel.Rows()
+
+	// The generated-loop analogue: specializations by test count with the
+	// accumulation inlined. The four-sum case is the paper's example query.
+	switch {
+	case len(p.baseTests) == 1 && len(sums) == 4:
+		t := p.baseTests[0]
+		s0, s1, s2, s3 := sums[0], sums[1], sums[2], sums[3]
+		var a0, a1, a2, a3 int64
+		for row := 0; row < n; row++ {
+			if passTest(&t, t.data[row*t.stride+t.off]) {
+				count++
+				if w := s0.data[row*s0.stride+s0.off]; w != storage.Null {
+					a0 += storage.DecodeInt(w)
+				}
+				if w := s1.data[row*s1.stride+s1.off]; w != storage.Null {
+					a1 += storage.DecodeInt(w)
+				}
+				if w := s2.data[row*s2.stride+s2.off]; w != storage.Null {
+					a2 += storage.DecodeInt(w)
+				}
+				if w := s3.data[row*s3.stride+s3.off]; w != storage.Null {
+					a3 += storage.DecodeInt(w)
+				}
+			}
+		}
+		accs[0], accs[1], accs[2], accs[3] = a0, a1, a2, a3
+	default:
+		for row := 0; row < n; row++ {
+			pass := true
+			for i := range p.baseTests {
+				t := &p.baseTests[i]
+				if !passTest(t, t.data[row*t.stride+t.off]) {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			count++
+			for i := range sums {
+				s := &sums[i]
+				if w := s.data[row*s.stride+s.off]; w != storage.Null {
+					accs[i] += storage.DecodeInt(w)
+				}
+			}
+		}
+	}
+
+	row := make([]storage.Word, len(v.Aggs))
+	for i, pos := range sumIdx {
+		row[pos] = storage.EncodeInt(accs[i])
+	}
+	if countPos >= 0 {
+		row[countPos] = storage.EncodeInt(count)
+	}
+	return [][]storage.Word{row}, true
+}
+
+// genericAggregate runs the pipeline into a grouped aggregation sink. The
+// aggregate arguments are compiled once: column references become register
+// moves, computed expressions stay interpreted — so the per-tuple path is
+// one AddValue per aggregate with no expression walking for the common
+// Sum(col)/Min(col)/Max(col) case.
+func genericAggregate(p *pipe, v plan.Aggregate) [][]storage.Word {
+	type argComp struct {
+		isCol  bool
+		srcReg int
+		e      expr.Expr
+	}
+	args := make([]argComp, len(v.Aggs))
+	specs := make([]expr.AggSpec, len(v.Aggs))
+	for i, spec := range v.Aggs {
+		specs[i] = spec
+		if spec.Arg == nil {
+			continue
+		}
+		if col, ok := spec.Arg.(expr.Col); ok {
+			args[i] = argComp{isCol: true, srcReg: col.Attr}
+		} else {
+			args[i] = argComp{e: spec.Arg}
+			// Normalize the state's argument: the value arrives
+			// pre-evaluated through AddValue.
+			specs[i].Arg = expr.Col{Attr: 0, Ty: spec.Arg.Type()}
+		}
+	}
+
+	var keys [][]storage.Word    // group id -> group key values
+	var states [][]expr.AggState // group id -> per-aggregate state
+	newStates := func() []expr.AggState {
+		st := make([]expr.AggState, len(v.Aggs))
+		for i := range specs {
+			st[i] = expr.NewAggState(specs[i])
+		}
+		return st
+	}
+
+	fold := func(st []expr.AggState, regs []storage.Word) {
+		for i := range st {
+			a := &args[i]
+			switch {
+			case v.Aggs[i].Arg == nil: // count(*)
+				st[i].AddValue(0)
+			case a.isCol:
+				st[i].AddValue(regs[a.srcReg])
+			default:
+				st[i].AddValue(expr.EvalExpr(a.e, func(p int) storage.Word { return regs[p] }))
+			}
+		}
+	}
+
+	switch len(v.GroupBy) {
+	case 0:
+		st := newStates()
+		states = append(states, st)
+		keys = append(keys, nil)
+		p.run(func(regs []storage.Word) { fold(st, regs) })
+
+	case 1:
+		// Single-column grouping: a word-keyed map is several times
+		// cheaper per tuple than the generic composite key.
+		pos := v.GroupBy[0]
+		ids := map[storage.Word]int32{}
+		p.run(func(regs []storage.Word) {
+			k := regs[pos]
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(states))
+				ids[k] = id
+				keys = append(keys, []storage.Word{k})
+				states = append(states, newStates())
+			}
+			fold(states[id], regs)
+		})
+
+	default:
+		ids := map[exec.GroupKey]int32{}
+		p.run(func(regs []storage.Word) {
+			k := exec.MakeGroupKey(regs, v.GroupBy)
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(states))
+				ids[k] = id
+				key := make([]storage.Word, len(v.GroupBy))
+				for i, pos := range v.GroupBy {
+					key[i] = regs[pos]
+				}
+				keys = append(keys, key)
+				states = append(states, newStates())
+			}
+			fold(states[id], regs)
+		})
+	}
+
+	rows := make([][]storage.Word, 0, len(states))
+	for g := range states {
+		row := make([]storage.Word, 0, len(keys[g])+len(v.Aggs))
+		row = append(row, keys[g]...)
+		for i := range states[g] {
+			row = append(row, states[g][i].Result())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,231 @@
+package jit
+
+import (
+	"repro/internal/exec"
+	"repro/internal/exec/result"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Engine is the JiT-compilation engine.
+type Engine struct{}
+
+// New returns the engine.
+func New() Engine { return Engine{} }
+
+// Name returns "jit".
+func (Engine) Name() string { return "jit" }
+
+// Run compiles the plan into pipeline programs and executes them once.
+// Repeated executions of the same plan should use Prepare, which separates
+// compilation from execution the way HyPer's query compiler does.
+func (Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
+	if ins, ok := n.(plan.Insert); ok {
+		return exec.RunInsert(ins, c)
+	}
+	return Prepare(n, c).Exec()
+}
+
+// Prepared is a compiled query: the pipeline programs, probe tables and
+// output schema are built once; Exec re-runs the compiled form (index
+// lookups are re-evaluated per execution). Like any prepared statement
+// over materialized build sides, a Prepared must be re-prepared after the
+// underlying tables change.
+type Prepared struct {
+	cols []plan.Column
+	exec func() [][]storage.Word
+}
+
+// Prepare compiles the plan against the catalog.
+func Prepare(n plan.Node, c *plan.Catalog) *Prepared {
+	if ins, ok := n.(plan.Insert); ok {
+		return &Prepared{
+			cols: plan.Output(n, c),
+			exec: func() [][]storage.Word { return exec.RunInsert(ins, c).Rows },
+		}
+	}
+	return &Prepared{cols: plan.Output(n, c), exec: prepareNode(n, c)}
+}
+
+// Exec runs the compiled query.
+func (p *Prepared) Exec() *result.Set {
+	out := result.New(p.cols)
+	out.Rows = p.exec()
+	return out
+}
+
+// runNode executes a plan subtree to materialized rows (compile + run).
+func runNode(n plan.Node, c *plan.Catalog) [][]storage.Word {
+	return prepareNode(n, c)()
+}
+
+// prepareNode compiles a plan subtree into an executable closure. Pipeline
+// breakers (aggregate, sort, limit) sit between compiled pipelines.
+func prepareNode(n plan.Node, c *plan.Catalog) func() [][]storage.Word {
+	switch v := n.(type) {
+	case plan.Sort:
+		child := prepareNode(v.Child, c)
+		return func() [][]storage.Word {
+			rows := child()
+			exec.SortRows(rows, v.Keys)
+			return rows
+		}
+	case plan.Limit:
+		child := prepareNode(v.Child, c)
+		return func() [][]storage.Word {
+			rows := child()
+			if len(rows) > v.N {
+				rows = rows[:v.N]
+			}
+			return rows
+		}
+	case plan.Aggregate:
+		p := compilePipe(v.Child, c)
+		return func() [][]storage.Word {
+			if rows, ok := fastScanAggregate(p, v); ok {
+				return rows
+			}
+			return genericAggregate(p, v)
+		}
+	default:
+		p := compilePipe(n, c)
+		return func() [][]storage.Word {
+			r := &runner{p: p}
+			p.run(r.emitRow)
+			return r.rows
+		}
+	}
+}
+
+type runner struct {
+	p    *pipe
+	rows [][]storage.Word
+}
+
+func (r *runner) emitRow(regs []storage.Word) {
+	r.rows = append(r.rows, append([]storage.Word(nil), regs...))
+}
+
+// run drives the pipeline: one fused loop over the source rows, applying
+// compiled tests by direct slice access, loading registers, executing the
+// stages and calling emit for every surviving register image. The emit
+// indirection is the only per-row call left; the paper's hot shapes avoid
+// even that through the fast paths in aggregate.go.
+func (p *pipe) run(emit func([]storage.Word)) {
+	regs := make([]storage.Word, p.srcWidth)
+	n := p.rel.Rows()
+	var complexRow int
+	complexFn := func(a int) storage.Word { return p.rel.Value(complexRow, a) }
+
+	process := func(row int) {
+		for i := range p.baseTests {
+			t := &p.baseTests[i]
+			w := t.data[row*t.stride+t.off]
+			if !passTest(t, w) {
+				return
+			}
+		}
+		if p.complex != nil {
+			complexRow = row
+			if !expr.EvalPred(p.complex, complexFn) {
+				return
+			}
+		}
+		for i := range p.loads {
+			l := &p.loads[i]
+			regs[l.reg] = l.data[row*l.stride+l.off]
+		}
+		p.pushStages(0, regs, emit)
+	}
+
+	if p.useIndex {
+		p.indexRows = p.idx.Lookup(p.key, p.indexRows[:0])
+		for _, row := range p.indexRows {
+			process(int(row))
+		}
+		return
+	}
+	for row := 0; row < n; row++ {
+		process(row)
+	}
+}
+
+// passTest evaluates one compiled test on a value.
+func passTest(t *test, w storage.Word) bool {
+	switch t.kind {
+	case tCmp:
+		switch t.op {
+		case expr.Eq:
+			return w == t.val
+		case expr.Ne:
+			return w != t.val
+		case expr.Lt:
+			return w < t.val
+		case expr.Le:
+			return w <= t.val
+		case expr.Gt:
+			return w > t.val
+		default:
+			return w >= t.val
+		}
+	case tBetween:
+		return w >= t.lo && w <= t.hi
+	case tInSet:
+		return t.set.Contains(w)
+	default: // tNotNull
+		return w != storage.Null
+	}
+}
+
+// pushStages advances a register image through the stages starting at si.
+// Only multi-match probes recurse; the single-match path stays in the flat
+// loop.
+func (p *pipe) pushStages(si int, regs []storage.Word, emit func([]storage.Word)) {
+	for ; si < len(p.stages); si++ {
+		st := &p.stages[si]
+		switch st.kind {
+		case stFilter:
+			for i := range st.tests {
+				t := &st.tests[i]
+				if !passTest(t, regs[t.pos]) {
+					return
+				}
+			}
+			if st.complex != nil {
+				if !expr.EvalPred(st.complex, func(a int) storage.Word { return regs[a] }) {
+					return
+				}
+			}
+		case stMap:
+			buf := st.buf
+			for i := range st.maps {
+				m := &st.maps[i]
+				if m.isMove {
+					buf[i] = regs[m.srcReg]
+				} else {
+					buf[i] = expr.EvalExpr(m.e, func(a int) storage.Word { return regs[a] })
+				}
+			}
+			regs = buf
+		case stProbe:
+			matches := st.table[regs[st.keyReg]]
+			if len(matches) == 0 {
+				return
+			}
+			buf := st.buf
+			copy(buf[st.addWidth:], regs)
+			if len(matches) == 1 {
+				copy(buf[:st.addWidth], matches[0])
+				regs = buf
+				continue
+			}
+			for _, m := range matches {
+				copy(buf[:st.addWidth], m)
+				p.pushStages(si+1, buf, emit)
+			}
+			return
+		}
+	}
+	emit(regs)
+}

@@ -1,0 +1,136 @@
+// Package result provides the engine-independent result set all four
+// execution engines produce. Differential tests compare result sets across
+// engines and storage layouts for equality after canonical ordering.
+package result
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Set is a materialized query result: column metadata plus word-encoded
+// rows.
+type Set struct {
+	Cols []plan.Column
+	Rows [][]storage.Word
+}
+
+// New creates a result set with the given columns.
+func New(cols []plan.Column) *Set {
+	return &Set{Cols: cols}
+}
+
+// Append adds one row (taking ownership of the slice).
+func (s *Set) Append(row []storage.Word) {
+	s.Rows = append(s.Rows, row)
+}
+
+// Len returns the number of rows.
+func (s *Set) Len() int { return len(s.Rows) }
+
+// Sorted returns a copy whose rows are in canonical (lexicographic word)
+// order; used to compare engines that produce rows in different orders.
+func (s *Set) Sorted() *Set {
+	out := &Set{Cols: s.Cols, Rows: make([][]storage.Word, len(s.Rows))}
+	copy(out.Rows, s.Rows)
+	sort.Slice(out.Rows, func(i, j int) bool { return lessRow(out.Rows[i], out.Rows[j]) })
+	return out
+}
+
+func lessRow(a, b []storage.Word) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Equal reports whether two result sets hold identical rows in identical
+// order with the same arity.
+func Equal(a, b *Set) bool {
+	if len(a.Rows) != len(b.Rows) || len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualUnordered compares two result sets ignoring row order.
+func EqualUnordered(a, b *Set) bool {
+	return Equal(a.Sorted(), b.Sorted())
+}
+
+// Format renders the set for human consumption, decoding values by column
+// type; string columns are decoded through dicts, which maps dictionary
+// codes back to values when the column came straight from a base table.
+func (s *Set) Format(dicts []*storage.Dict, maxRows int) string {
+	var b strings.Builder
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	n := len(s.Rows)
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for r := 0; r < n; r++ {
+		for i, w := range s.Rows[r] {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(formatWord(w, s.Cols[i].Type, dictAt(dicts, i)))
+		}
+		b.WriteByte('\n')
+	}
+	if n < len(s.Rows) {
+		fmt.Fprintf(&b, "... (%d rows total)\n", len(s.Rows))
+	}
+	return b.String()
+}
+
+func dictAt(dicts []*storage.Dict, i int) *storage.Dict {
+	if i < len(dicts) {
+		return dicts[i]
+	}
+	return nil
+}
+
+func formatWord(w storage.Word, t storage.Type, d *storage.Dict) string {
+	if w == storage.Null {
+		return "NULL"
+	}
+	switch t {
+	case storage.Int64:
+		return fmt.Sprintf("%d", storage.DecodeInt(w))
+	case storage.Float64:
+		return fmt.Sprintf("%.4g", storage.DecodeFloat(w))
+	case storage.Bool:
+		return fmt.Sprintf("%v", storage.DecodeBool(w))
+	case storage.String:
+		if d != nil {
+			return d.Value(w)
+		}
+		return fmt.Sprintf("#%d", w)
+	}
+	return fmt.Sprintf("%d", w)
+}

@@ -1,0 +1,78 @@
+package result
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func mkSet(rows ...[]storage.Word) *Set {
+	s := New([]plan.Column{{Name: "a", Type: storage.Int64}, {Name: "b", Type: storage.Int64}})
+	for _, r := range rows {
+		s.Append(r)
+	}
+	return s
+}
+
+func w(v int64) storage.Word { return storage.EncodeInt(v) }
+
+func TestEqualAndUnordered(t *testing.T) {
+	a := mkSet([]storage.Word{w(1), w(2)}, []storage.Word{w(3), w(4)})
+	b := mkSet([]storage.Word{w(3), w(4)}, []storage.Word{w(1), w(2)})
+	if Equal(a, b) {
+		t.Error("different order must not be Equal")
+	}
+	if !EqualUnordered(a, b) {
+		t.Error("same rows must be EqualUnordered")
+	}
+	c := mkSet([]storage.Word{w(1), w(2)})
+	if EqualUnordered(a, c) {
+		t.Error("different cardinality must differ")
+	}
+	d := mkSet([]storage.Word{w(1), w(2)}, []storage.Word{w(3), w(5)})
+	if EqualUnordered(a, d) {
+		t.Error("different values must differ")
+	}
+}
+
+func TestSortedIsCanonical(t *testing.T) {
+	a := mkSet([]storage.Word{w(3), w(0)}, []storage.Word{w(-1), w(9)}, []storage.Word{w(3), w(-2)})
+	s := a.Sorted()
+	if storage.DecodeInt(s.Rows[0][0]) != -1 {
+		t.Error("sorted order wrong (encoded words must sort signed)")
+	}
+	if storage.DecodeInt(s.Rows[1][1]) != -2 || storage.DecodeInt(s.Rows[2][1]) != 0 {
+		t.Error("ties must break on later columns")
+	}
+	if a.Rows[0][0] != w(3) {
+		t.Error("Sorted must not mutate the receiver")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := New([]plan.Column{
+		{Name: "n", Type: storage.Int64},
+		{Name: "f", Type: storage.Float64},
+		{Name: "s", Type: storage.String},
+		{Name: "x", Type: storage.Int64},
+	})
+	d := storage.BuildDict([]string{"hello"})
+	code, _ := d.Code("hello")
+	s.Append([]storage.Word{w(-7), storage.EncodeFloat(2.5), code, storage.Null})
+	out := s.Format([]*storage.Dict{nil, nil, d, nil}, 10)
+	for _, want := range []string{"n | f | s | x", "-7", "2.5", "hello", "NULL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation note.
+	for i := 0; i < 5; i++ {
+		s.Append([]storage.Word{w(int64(i)), storage.EncodeFloat(0), code, w(0)})
+	}
+	out = s.Format(nil, 2)
+	if !strings.Contains(out, "6 rows total") {
+		t.Errorf("truncated format must report total rows:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package vector
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// The cross-engine differential suite (package exec) covers semantics;
+// these tests pin batch-boundary behaviour: exact BatchSize multiples,
+// limits that cut inside a batch, and selection vectors that empty whole
+// batches.
+
+func vecCatalog(rows int) *plan.Catalog {
+	schema := storage.NewSchema("v",
+		storage.Attribute{Name: "id", Type: storage.Int64},
+		storage.Attribute{Name: "val", Type: storage.Int64},
+	)
+	b := storage.NewBuilder(schema)
+	ids := make([]int64, rows)
+	vals := make([]int64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+		vals[i] = int64(i % 7)
+	}
+	b.SetInts(0, ids).SetInts(1, vals)
+	return plan.NewCatalog().Add(b.Build(storage.DSM(2)))
+}
+
+func TestBatchBoundaryExactMultiple(t *testing.T) {
+	for _, rows := range []int{BatchSize, 2 * BatchSize, 2*BatchSize + 1, BatchSize - 1, 1} {
+		cat := vecCatalog(rows)
+		res := New().Run(plan.Scan{Table: "v", Cols: []int{0}}, cat)
+		if res.Len() != rows {
+			t.Errorf("rows=%d: scan returned %d", rows, res.Len())
+		}
+	}
+}
+
+func TestLimitCutsInsideBatch(t *testing.T) {
+	cat := vecCatalog(3 * BatchSize)
+	res := New().Run(plan.Limit{N: BatchSize + 17, Child: plan.Scan{Table: "v", Cols: []int{0}}}, cat)
+	if res.Len() != BatchSize+17 {
+		t.Fatalf("limit returned %d rows, want %d", res.Len(), BatchSize+17)
+	}
+}
+
+func TestEmptyBatchesAreSkipped(t *testing.T) {
+	// Only the very last tuple matches: every earlier batch's selection
+	// vector is empty and must not surface as a zero-length batch.
+	rows := 2*BatchSize + 5
+	cat := vecCatalog(rows)
+	res := New().Run(plan.Scan{
+		Table:  "v",
+		Filter: expr.Cmp{Attr: 0, Op: expr.Eq, Val: storage.EncodeInt(int64(rows - 1))},
+		Cols:   []int{0, 1},
+	}, cat)
+	if res.Len() != 1 {
+		t.Fatalf("got %d rows, want 1", res.Len())
+	}
+	if storage.DecodeInt(res.Rows[0][0]) != int64(rows-1) {
+		t.Fatal("wrong tuple survived")
+	}
+}
+
+func TestBatchReuseDoesNotCorruptConsumers(t *testing.T) {
+	// Sort materializes everything; since scan batches reuse buffers, the
+	// materialization must copy. Descending sort of ids exposes stale
+	// buffers immediately.
+	rows := 2 * BatchSize
+	cat := vecCatalog(rows)
+	res := New().Run(plan.Sort{
+		Child: plan.Scan{Table: "v", Cols: []int{0}},
+		Keys:  []plan.SortKey{{Pos: 0, Desc: true}},
+	}, cat)
+	for i := 0; i < 5; i++ {
+		want := int64(rows - 1 - i)
+		if got := storage.DecodeInt(res.Rows[i][0]); got != want {
+			t.Fatalf("row %d = %d, want %d (buffer aliasing?)", i, got, want)
+		}
+	}
+}
+
+func TestGroupCountsSumToInput(t *testing.T) {
+	rows := 3*BatchSize + 123
+	cat := vecCatalog(rows)
+	res := New().Run(plan.Aggregate{
+		Child:   plan.Scan{Table: "v", Cols: []int{1}},
+		GroupBy: []int{0},
+		Aggs:    []expr.AggSpec{{Kind: expr.Count, Name: "n"}},
+	}, cat)
+	if res.Len() != 7 {
+		t.Fatalf("groups = %d, want 7", res.Len())
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += storage.DecodeInt(row[1])
+	}
+	if total != int64(rows) {
+		t.Fatalf("counts sum to %d, want %d", total, rows)
+	}
+}

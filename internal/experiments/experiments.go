@@ -1,0 +1,152 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section. Each driver regenerates the corresponding
+// rows/series (workload generation, parameter sweep, baselines, and the
+// measurement itself) and returns a printable Report. The cmd/benchrunner
+// binary and the repository-level benchmarks in bench_test.go both call
+// into this package, so the numbers in EXPERIMENTS.md are regenerable from
+// either entry point.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options sizes the experiments. Quick shrinks the data sets for CI;
+// Full approaches the paper's cardinalities.
+type Options struct {
+	Quick bool
+}
+
+// Report is a regenerated table or figure.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment in paper order.
+func All(opt Options) []*Report {
+	return []*Report{
+		Fig3(opt),
+		Fig6(opt),
+		Fig8(opt),
+		Table3(opt),
+		Table4(opt),
+		Fig9(opt),
+		Fig10(opt),
+		Fig11(opt),
+		Fig12(opt),
+		Table5(opt),
+		AblationCostFunction(opt),
+		AblationCuts(opt),
+		AblationSparse(opt),
+	}
+}
+
+// ByID returns the named experiment's driver, or nil.
+func ByID(id string) func(Options) *Report {
+	m := map[string]func(Options) *Report{
+		"fig3":            Fig3,
+		"fig6":            Fig6,
+		"fig8":            Fig8,
+		"table3":          Table3,
+		"table4":          Table4,
+		"fig9":            Fig9,
+		"fig10":           Fig10,
+		"fig11":           Fig11,
+		"fig12":           Fig12,
+		"table5":          Table5,
+		"ablation-costfn": AblationCostFunction,
+		"ablation-cuts":   AblationCuts,
+		"ablation-sparse": AblationSparse,
+	}
+	return m[id]
+}
+
+// IDs lists the available experiments.
+func IDs() []string {
+	ids := []string{
+		"fig3", "fig6", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5",
+		"ablation-costfn", "ablation-cuts", "ablation-sparse",
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// medianTime runs f repeats times and returns the median duration.
+func medianTime(repeats int, f func()) time.Duration {
+	if repeats < 1 {
+		repeats = 1
+	}
+	times := make([]time.Duration, repeats)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-2:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

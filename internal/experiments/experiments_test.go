@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec/result"
+	"repro/internal/mem"
+)
+
+// TestFig3SetupCorrectness: the example query returns the same sums on all
+// three layouts and all engines (fixture sanity for the headline figure).
+func TestFig3SetupCorrectness(t *testing.T) {
+	setup := NewFig3Setup(20000)
+	q := setup.Query(0.01)
+	var ref *result.Set
+	for name, cat := range setup.Catalogs {
+		for _, e := range Fig3Engines() {
+			got := e.Run(q, cat)
+			if got.Len() != 1 {
+				t.Fatalf("%s/%s: %d rows", e.Name(), name, got.Len())
+			}
+			if ref == nil {
+				ref = got
+			} else if !result.EqualUnordered(ref, got) {
+				t.Fatalf("%s/%s: result mismatch", e.Name(), name)
+			}
+		}
+	}
+}
+
+// TestFig3Shape asserts the headline result on a mid-size instance:
+// the JiT engine beats Volcano by at least 5x on every layout at 1%
+// selectivity (the paper reports 2 orders of magnitude on 25M tuples;
+// the gap grows with data size, so the small-instance bound is loose).
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	setup := NewFig3Setup(300_000)
+	q := setup.Query(0.01)
+	engines := Fig3Engines()
+	times := map[string]time.Duration{}
+	for _, e := range engines {
+		times[e.Name()] = medianTime(3, func() { e.Run(q, setup.Catalogs["hybrid"]) })
+	}
+	if times["jit"]*5 > times["volcano"] {
+		t.Errorf("jit (%v) should be at least 5x faster than volcano (%v) on PDSM", times["jit"], times["volcano"])
+	}
+	if times["bulk"] > times["volcano"] {
+		t.Errorf("bulk (%v) should not be slower than volcano (%v)", times["bulk"], times["volcano"])
+	}
+}
+
+// TestFig6Shape: the model-vs-simulator sweep reproduces the paper's
+// qualitative curves.
+func TestFig6Shape(t *testing.T) {
+	pts := Fig6Sweep(1<<19, mem.TableIII())
+	last := pts[len(pts)-1]
+	if last.S != 1.0 {
+		t.Fatal("sweep must end at s=1")
+	}
+	if last.PredRand != 0 {
+		t.Errorf("at s=1 predicted random misses must be 0, got %v", last.PredRand)
+	}
+	if last.MeasRand > last.MeasSeq/10 {
+		t.Errorf("at s=1 measured misses should be almost all sequential (%v rand vs %v seq)", last.MeasRand, last.MeasSeq)
+	}
+	// rr_acc underestimates total misses at low selectivity.
+	low := pts[1] // s=0.01
+	if low.RRAccPred > (low.PredSeq+low.PredRand)*0.75 {
+		t.Errorf("rr_acc (%v) should underestimate s_trav_cr total (%v) at s=%v",
+			low.RRAccPred, low.PredSeq+low.PredRand, low.S)
+	}
+	// Predicted and measured totals within 2x across the sweep.
+	for _, p := range pts {
+		pred := p.PredSeq + p.PredRand
+		meas := p.MeasSeq + p.MeasRand
+		if pred == 0 || meas == 0 {
+			continue
+		}
+		if r := pred / meas; r < 0.5 || r > 2 {
+			t.Errorf("s=%v: predicted/measured = %.2f, want within [0.5,2]", p.S, r)
+		}
+	}
+}
+
+// TestFig8Cliffs: the calibration curve must step up at every capacity
+// boundary.
+func TestFig8Cliffs(t *testing.T) {
+	geo := mem.TableIII()
+	inL1 := Fig8Chase(16<<10, 100_000, geo, 1)
+	inL2 := Fig8Chase(128<<10, 100_000, geo, 1)
+	inL3 := Fig8Chase(4<<20, 100_000, geo, 1)
+	inMem := Fig8Chase(64<<20, 100_000, geo, 1)
+	if !(inL1 < inL2 && inL2 < inL3 && inL3 < inMem) {
+		t.Errorf("calibration curve not monotone across capacities: %v %v %v %v", inL1, inL2, inL3, inMem)
+	}
+	// The L2 cliff should be roughly the configured L2 latency.
+	if d := inL2 - inL1; d < 1 || d > 6 {
+		t.Errorf("L1->L2 cliff = %.2f cycles, want ~3", d)
+	}
+	if d := inL3 - inL2; d < 4 || d > 14 {
+		t.Errorf("L2->L3 cliff = %.2f cycles, want ~8", d)
+	}
+}
+
+// TestReportsRender: every experiment runs in quick mode and renders a
+// non-empty table (full end-to-end coverage of the harness).
+func TestReportsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	for _, rep := range All(Options{Quick: true}) {
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: empty report", rep.ID)
+		}
+		s := rep.String()
+		if !strings.Contains(s, rep.ID) {
+			t.Errorf("%s: rendering broken", rep.ID)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if ByID(id) == nil {
+			t.Errorf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown id must return nil")
+	}
+}

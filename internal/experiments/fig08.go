@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Fig8Point is one calibration measurement.
+type Fig8Point struct {
+	RegionBytes     int64
+	CyclesPerAccess float64
+}
+
+// Fig8Chase measures cycles per access for uniformly random word reads
+// inside a region of the given size — the paper's configuring experiment
+// ("calculate the sum of a constant number of values varying the size of
+// the memory region they are read from"). Latency cliffs appear where the
+// region outgrows a cache level.
+func Fig8Chase(regionBytes int64, accesses int, geo mem.Geometry, seed int64) float64 {
+	h := mem.NewHierarchy(geo)
+	rng := rand.New(rand.NewSource(seed))
+	words := regionBytes / 8
+	if words < 1 {
+		words = 1
+	}
+	for i := 0; i < accesses; i++ {
+		h.Read(uint64(rng.Int63n(words)) * 8)
+	}
+	return h.Cycles() / float64(accesses)
+}
+
+// Fig8Regions is the region-size sweep (1 KB to 256 MB, log scale) —
+// the paper sweeps 1K to 100000K values.
+func Fig8Regions(quick bool) []int64 {
+	max := int64(256 << 20)
+	if quick {
+		max = 32 << 20
+	}
+	var out []int64
+	for r := int64(1 << 10); r <= max; r *= 4 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Fig8Sweep runs the calibration experiment across the sweep.
+func Fig8Sweep(quick bool, geo mem.Geometry) []Fig8Point {
+	accesses := 400_000
+	if quick {
+		accesses = 100_000
+	}
+	var out []Fig8Point
+	for _, r := range Fig8Regions(quick) {
+		out = append(out, Fig8Point{RegionBytes: r, CyclesPerAccess: Fig8Chase(r, accesses, geo, 7)})
+	}
+	return out
+}
+
+// Fig8 regenerates Figure 8: cycles per access as a function of the
+// accessed region size on the simulated hierarchy.
+func Fig8(opt Options) *Report {
+	geo := mem.TableIII()
+	rep := &Report{
+		ID:     "fig8",
+		Title:  "Calibration experiment: cycles/access vs. region size",
+		Header: []string{"region", "cycles/access"},
+		Notes: []string{
+			"paper: plateaus separated by cliffs where the region exceeds L1 (32kB), L2 (256kB), L3 (8MB)",
+		},
+	}
+	for _, p := range Fig8Sweep(opt.Quick, geo) {
+		rep.Rows = append(rep.Rows, []string{fmtBytes(p.RegionBytes), fmt.Sprintf("%.2f", p.CyclesPerAccess)})
+	}
+	return rep
+}
+
+// plateau measures the cycles/access deep inside a level (region at half
+// the level capacity) — the basis of the latency extraction.
+func plateau(capacity int64, geo mem.Geometry, accesses int) float64 {
+	return Fig8Chase(capacity/2, accesses, geo, 11)
+}
+
+// Table3 regenerates Table III: the configured hierarchy parameters next
+// to the latencies recovered from the Figure 8 curve (plateau deltas),
+// demonstrating the paper's calibration procedure on the simulated
+// machine.
+func Table3(opt Options) *Report {
+	geo := mem.TableIII()
+	accesses := 300_000
+	if opt.Quick {
+		accesses = 80_000
+	}
+	pL1 := plateau(geo.Levels[0].Capacity, geo, accesses)
+	pL2 := plateau(geo.Levels[1].Capacity, geo, accesses)
+	pL3 := plateau(geo.Levels[2].Capacity, geo, accesses)
+	pMem := Fig8Chase(128<<20, accesses, geo, 11)
+
+	rep := &Report{
+		ID:     "table3",
+		Title:  "Model parameters: configured vs. recovered from calibration",
+		Header: []string{"level", "capacity", "blocksize", "configured latency", "recovered latency"},
+		Notes: []string{
+			"recovered latency = plateau delta of the Fig. 8 curve;",
+			"the memory row includes TLB page-walk costs (regions beyond the 8MB TLB coverage), as on real hardware",
+		},
+	}
+	rows := []struct {
+		spec      mem.Spec
+		recovered float64
+	}{
+		{geo.Levels[0], pL1 - geo.TLB.Latency - geo.RegisterLatency},
+		{geo.Levels[1], pL2 - pL1},
+		{geo.Levels[2], pL3 - pL2},
+		{geo.Memory, pMem - pL3},
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, []string{
+			r.spec.Name, fmtBytes(r.spec.Capacity), fmtBytes(r.spec.BlockSize),
+			fmt.Sprintf("%.0f cyc", r.spec.Latency), fmt.Sprintf("%.1f cyc", r.recovered),
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{
+		geo.TLB.Name, fmtBytes(geo.TLB.Capacity), fmtBytes(geo.TLB.BlockSize),
+		fmt.Sprintf("%.0f cyc", geo.TLB.Latency), "(charged per access)",
+	})
+	return rep
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dkB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

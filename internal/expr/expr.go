@@ -1,0 +1,224 @@
+// Package expr defines predicates, scalar expressions and aggregate
+// specifications over word-encoded tuples. The same expression trees are
+// consumed in three styles, mirroring the paper's three processing models:
+// interpreted per tuple through interface dispatch (Volcano), applied
+// column-at-a-time as primitives (bulk/HYRISE), or inspected once at query
+// compile time and lowered into fused loops (JiT).
+package expr
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Apply evaluates the comparison on encoded words. All type encodings are
+// order-preserving, so one unsigned comparison serves every type.
+func (op CmpOp) Apply(a, b storage.Word) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+// Pred is a boolean predicate over a tuple. The Attr fields reference
+// attribute positions whose meaning (base-table attribute or operator
+// output position) is fixed by the plan node holding the predicate.
+type Pred interface{ isPred() }
+
+// Cmp compares an attribute against a bound constant.
+type Cmp struct {
+	Attr int
+	Op   CmpOp
+	Val  storage.Word
+}
+
+// Between is an inclusive range test.
+type Between struct {
+	Attr   int
+	Lo, Hi storage.Word
+}
+
+// InSet tests dictionary codes against a compiled code set — the executable
+// form of string predicates such as LIKE, compiled once per query against
+// the attribute's dictionary.
+type InSet struct {
+	Attr int
+	Set  *storage.CodeSet
+}
+
+// NotNull passes tuples whose attribute is present.
+type NotNull struct{ Attr int }
+
+// And is the conjunction of its children (empty = true).
+type And struct{ Preds []Pred }
+
+// Or is the disjunction of its children (empty = false).
+type Or struct{ Preds []Pred }
+
+// True passes everything.
+type True struct{}
+
+func (Cmp) isPred()     {}
+func (Between) isPred() {}
+func (InSet) isPred()   {}
+func (NotNull) isPred() {}
+func (And) isPred()     {}
+func (Or) isPred()      {}
+func (True) isPred()    {}
+
+// EvalPred interprets p against a tuple exposed by row. This is the
+// interpretive path; the JiT engine lowers predicates instead (see
+// exec/jit).
+func EvalPred(p Pred, row func(int) storage.Word) bool {
+	switch v := p.(type) {
+	case Cmp:
+		return v.Op.Apply(row(v.Attr), v.Val)
+	case Between:
+		w := row(v.Attr)
+		return w >= v.Lo && w <= v.Hi
+	case InSet:
+		return v.Set.Contains(row(v.Attr))
+	case NotNull:
+		return row(v.Attr) != storage.Null
+	case And:
+		for _, c := range v.Preds {
+			if !EvalPred(c, row) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, c := range v.Preds {
+			if EvalPred(c, row) {
+				return true
+			}
+		}
+		return false
+	case True:
+		return true
+	case nil:
+		return true
+	}
+	return false
+}
+
+// PredAttrs returns the sorted distinct attribute positions p references.
+func PredAttrs(p Pred) []int {
+	set := map[int]struct{}{}
+	var walk func(Pred)
+	walk = func(p Pred) {
+		switch v := p.(type) {
+		case Cmp:
+			set[v.Attr] = struct{}{}
+		case Between:
+			set[v.Attr] = struct{}{}
+		case InSet:
+			set[v.Attr] = struct{}{}
+		case NotNull:
+			set[v.Attr] = struct{}{}
+		case And:
+			for _, c := range v.Preds {
+				walk(c)
+			}
+		case Or:
+			for _, c := range v.Preds {
+				walk(c)
+			}
+		}
+	}
+	walk(p)
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RemapAttrs rewrites every attribute reference of p through f — used by
+// engines that re-root predicates from base-table attributes onto operator
+// output positions.
+func RemapAttrs(p Pred, f func(int) int) Pred {
+	switch v := p.(type) {
+	case Cmp:
+		v.Attr = f(v.Attr)
+		return v
+	case Between:
+		v.Attr = f(v.Attr)
+		return v
+	case InSet:
+		v.Attr = f(v.Attr)
+		return v
+	case NotNull:
+		v.Attr = f(v.Attr)
+		return v
+	case And:
+		out := make([]Pred, len(v.Preds))
+		for i, c := range v.Preds {
+			out[i] = RemapAttrs(c, f)
+		}
+		return And{Preds: out}
+	case Or:
+		out := make([]Pred, len(v.Preds))
+		for i, c := range v.Preds {
+			out[i] = RemapAttrs(c, f)
+		}
+		return Or{Preds: out}
+	default:
+		return p
+	}
+}
+
+// Conj flattens non-nil predicates into a conjunction.
+func Conj(ps ...Pred) Pred {
+	var flat []Pred
+	for _, p := range ps {
+		switch v := p.(type) {
+		case nil, True:
+		case And:
+			flat = append(flat, v.Preds...)
+		default:
+			flat = append(flat, p)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return True{}
+	case 1:
+		return flat[0]
+	default:
+		return And{Preds: flat}
+	}
+}

@@ -1,0 +1,30 @@
+// Package index provides the two index structures the paper's Figure 10
+// experiments use: an open-addressing hash index (primary-key point
+// lookups) and a red-black tree (the RB-tree on VBAP.VBELN). Both map an
+// encoded key word to the row ids holding it and support incremental
+// maintenance on insert, which is what the paper measures on the modifying
+// query Q6.
+package index
+
+import "repro/internal/storage"
+
+// Index is the common interface of all index structures.
+type Index interface {
+	// Insert registers a row id under key.
+	Insert(key storage.Word, row int32)
+	// Lookup appends all row ids stored under key to dst and returns it.
+	Lookup(key storage.Word, dst []int32) []int32
+	// Len returns the number of (key,row) entries.
+	Len() int
+	// Kind names the structure ("hash" or "rbtree").
+	Kind() string
+}
+
+// BuildOn constructs an index over an existing relation attribute.
+func BuildOn(idx Index, rel *storage.Relation, attr int) Index {
+	acc := rel.Access(attr)
+	for row := 0; row < rel.Rows(); row++ {
+		idx.Insert(acc.At(row), int32(row))
+	}
+	return idx
+}

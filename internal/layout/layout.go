@@ -1,0 +1,248 @@
+// Package layout implements the paper's workload-aware schema
+// decomposition (Section V): candidate partitionings are generated from
+// Extended Reasonable Cuts — attribute groups derived from the access
+// patterns of the workload's queries rather than from whole queries — and
+// searched with the BPi branch-and-bound algorithm of Chu & Ieong, using
+// the holistic cost model as the objective function. An exhaustive
+// set-partition search (OBP-style optimum) is provided for small tables
+// and used by the tests to bound BPi's suboptimality.
+package layout
+
+import (
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/pattern"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Optimizer searches for a low-cost vertical partitioning of one table
+// under a workload.
+type Optimizer struct {
+	Est *costmodel.Estimator
+	// Threshold is BPi's relative-improvement bound: a cut whose inclusion
+	// improves the current best cost by less than this fraction is not
+	// branched on (pruned), trading optimality for search cost.
+	Threshold float64
+	// MaxCuts caps the candidate cut set (safety bound; the paper's tables
+	// yield a handful of cuts).
+	MaxCuts int
+	// ClassicCutsOnly restricts the candidate set to the original
+	// reasonable cuts of Chu & Ieong (one cut per query: all attributes
+	// the query accesses), dropping the paper's pattern-derived extended
+	// cuts. Ablation knob: with it set, the optimizer cannot separate
+	// attributes that one query accesses under different access patterns
+	// (the paper's Section V-A argument).
+	ClassicCutsOnly bool
+}
+
+// NewOptimizer returns an optimizer with the paper-ish defaults.
+func NewOptimizer(est *costmodel.Estimator) *Optimizer {
+	return &Optimizer{Est: est, Threshold: 0.001, MaxCuts: 24}
+}
+
+// Cut is a candidate attribute group: partitioning the table "according to
+// the cut" splits every current group into members and non-members of the
+// cut set.
+type Cut struct {
+	Attrs []int
+}
+
+// CutsFor derives the Extended Reasonable Cuts of a table from the
+// workload: the attribute set of every atomic access pattern touching the
+// table (attributes accessed together in one atom, or in concurrent atoms
+// of the same kind and selectivity — which the translator already merges
+// into per-partition atoms), plus the classic per-query cut (all
+// attributes the query touches). Patterns are derived under the N-ary
+// layout so that co-access within a query is visible.
+func (o *Optimizer) CutsFor(table string, w *workload.Workload) []Cut {
+	width := o.Est.C.Table(table).Schema.Width()
+	nsm := map[string]storage.Layout{table: storage.NSM(width)}
+	seen := map[string]bool{}
+	var cuts []Cut
+	add := func(attrs []int) {
+		if len(attrs) == 0 || len(attrs) >= width {
+			return // empty or no-op bipartition
+		}
+		cp := append([]int(nil), attrs...)
+		sort.Ints(cp)
+		key := fingerprint(cp)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cuts = append(cuts, Cut{Attrs: cp})
+	}
+	for _, q := range w.Queries {
+		pat := o.Est.Translate(q.Plan, nsm)
+		var queryAttrs []int
+		qseen := map[int]bool{}
+		for _, a := range pattern.Atoms(pat) {
+			reg := regionOf(a)
+			if reg.Table != table || len(reg.Attrs) == 0 {
+				continue
+			}
+			if !o.ClassicCutsOnly {
+				add(reg.Attrs)
+			}
+			for _, attr := range reg.Attrs {
+				if !qseen[attr] {
+					qseen[attr] = true
+					queryAttrs = append(queryAttrs, attr)
+				}
+			}
+		}
+		add(queryAttrs)
+	}
+	if o.MaxCuts > 0 && len(cuts) > o.MaxCuts {
+		cuts = cuts[:o.MaxCuts]
+	}
+	return cuts
+}
+
+func regionOf(a pattern.Pattern) pattern.Region {
+	switch v := a.(type) {
+	case pattern.STrav:
+		return v.Region
+	case pattern.RTrav:
+		return v.Region
+	case pattern.RRAcc:
+		return v.Region
+	case pattern.STravCR:
+		return v.Region
+	}
+	return pattern.Region{}
+}
+
+// Apply refines the trivial single-group partitioning of width attributes
+// by every cut in order and returns the resulting layout.
+func Apply(width int, cuts []Cut) storage.Layout {
+	groups := [][]int{allAttrs(width)}
+	for _, cut := range cuts {
+		inCut := map[int]bool{}
+		for _, a := range cut.Attrs {
+			inCut[a] = true
+		}
+		var next [][]int
+		for _, g := range groups {
+			var in, out []int
+			for _, a := range g {
+				if inCut[a] {
+					in = append(in, a)
+				} else {
+					out = append(out, a)
+				}
+			}
+			if len(in) > 0 {
+				next = append(next, in)
+			}
+			if len(out) > 0 {
+				next = append(next, out)
+			}
+		}
+		groups = next
+	}
+	return storage.Layout{Groups: groups}.Canonical()
+}
+
+// Optimize runs BPi for the table: a branch-and-bound search over cut
+// subsets. At each level the next cut is tentatively applied; if its
+// inclusion improves the best cost seen on this path by at least
+// Threshold, the search branches into both worlds, otherwise the cut is
+// discarded (subtree pruned). Returns the best layout and its workload
+// cost.
+func (o *Optimizer) Optimize(table string, w *workload.Workload) (storage.Layout, float64) {
+	width := o.Est.C.Table(table).Schema.Width()
+	cuts := o.CutsFor(table, w)
+
+	evalCache := map[string]float64{}
+	costOf := func(included []Cut) (storage.Layout, float64) {
+		l := Apply(width, included)
+		key := l.String()
+		if v, ok := evalCache[key]; ok {
+			return l, v
+		}
+		v := w.Cost(o.Est, map[string]storage.Layout{table: l})
+		evalCache[key] = v
+		return l, v
+	}
+
+	bestLayout, bestCost := costOf(nil) // N-ary baseline
+	var included []Cut
+	var recurse func(idx int, curCost float64)
+	recurse = func(idx int, curCost float64) {
+		if idx == len(cuts) {
+			return
+		}
+		// Tentatively include cuts[idx].
+		included = append(included, cuts[idx])
+		layoutWith, costWith := costOf(included)
+		improvement := (curCost - costWith) / curCost
+		if improvement >= o.Threshold {
+			// Worth considering: record and branch into both worlds.
+			if costWith < bestCost {
+				bestLayout, bestCost = layoutWith, costWith
+			}
+			recurse(idx+1, costWith)
+			included = included[:len(included)-1]
+			recurse(idx+1, curCost)
+			return
+		}
+		// Below the improvement threshold: prune the include-branch.
+		included = included[:len(included)-1]
+		recurse(idx+1, curCost)
+	}
+	recurse(0, bestCost)
+	return bestLayout, bestCost
+}
+
+// Exhaustive enumerates every set partition of width attributes (only
+// feasible for small widths; Bell(10) ≈ 116k) and returns the cheapest —
+// the OBP-style optimum the tests compare BPi against.
+func Exhaustive(width int, cost func(storage.Layout) float64) (storage.Layout, float64) {
+	best := storage.NSM(width)
+	bestCost := cost(best)
+	assign := make([]int, width) // attribute -> group id (restricted growth)
+	var recurse func(i, maxG int)
+	recurse = func(i, maxG int) {
+		if i == width {
+			groups := make([][]int, maxG)
+			for a, g := range assign {
+				groups[g] = append(groups[g], a)
+			}
+			l := storage.Layout{Groups: groups}
+			if c := cost(l); c < bestCost {
+				bestCost = c
+				best = l.Canonical()
+			}
+			return
+		}
+		for g := 0; g <= maxG; g++ {
+			assign[i] = g
+			nm := maxG
+			if g == maxG {
+				nm = maxG + 1
+			}
+			recurse(i+1, nm)
+		}
+	}
+	recurse(0, 0)
+	return best, bestCost
+}
+
+func allAttrs(width int) []int {
+	out := make([]int, width)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func fingerprint(attrs []int) string {
+	b := make([]byte, 0, len(attrs)*3)
+	for _, a := range attrs {
+		b = append(b, byte(a), byte(a>>8), ',')
+	}
+	return string(b)
+}

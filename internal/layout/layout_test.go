@@ -1,0 +1,236 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/costmodel"
+	"repro/internal/expr"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func TestApplyRefines(t *testing.T) {
+	// 6 attributes, cuts {0,1} then {1,2}: expect {{0},{1},{2},{3,4,5}}.
+	l := Apply(6, []Cut{{Attrs: []int{0, 1}}, {Attrs: []int{1, 2}}})
+	want := storage.PDSM([]int{0}, []int{1}, []int{2}, []int{3, 4, 5})
+	if !l.Equal(want) {
+		t.Errorf("Apply = %v, want %v", l, want)
+	}
+	if err := l.Validate(6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyNoCutsIsNSM(t *testing.T) {
+	if !Apply(4, nil).Equal(storage.NSM(4)) {
+		t.Error("no cuts must yield the N-ary layout")
+	}
+}
+
+// TestApplyProperty: any random cut sequence yields a valid partitioning.
+func TestApplyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := rng.Intn(10) + 2
+		var cuts []Cut
+		for i := 0; i < rng.Intn(5); i++ {
+			var attrs []int
+			for a := 0; a < width; a++ {
+				if rng.Intn(3) == 0 {
+					attrs = append(attrs, a)
+				}
+			}
+			if len(attrs) > 0 {
+				cuts = append(cuts, Cut{Attrs: attrs})
+			}
+		}
+		return Apply(width, cuts).Validate(width) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exampleSetup builds the paper's 16-attribute example table R and the
+// example query workload (Fig. 2a).
+func exampleSetup(rows int) (*costmodel.Estimator, *workload.Workload) {
+	attrs := make([]storage.Attribute, 16)
+	for i := range attrs {
+		attrs[i] = storage.Attribute{Name: string(rune('A' + i)), Type: storage.Int64}
+	}
+	schema := storage.NewSchema("R", attrs...)
+	b := storage.NewBuilder(schema)
+	rng := rand.New(rand.NewSource(7))
+	for a := 0; a < 16; a++ {
+		col := make([]int64, rows)
+		for i := range col {
+			if a == 0 {
+				col[i] = int64(rng.Intn(100))
+			} else {
+				col[i] = rng.Int63n(1000)
+			}
+		}
+		b.SetInts(a, col)
+	}
+	cat := plan.NewCatalog().Add(b.Build(storage.NSM(16)))
+	est := costmodel.NewEstimator(cat, mem.TableIII())
+
+	q := plan.Aggregate{
+		Child: plan.Scan{
+			Table:  "R",
+			Filter: expr.Cmp{Attr: 0, Op: expr.Eq, Val: storage.EncodeInt(7)},
+			Cols:   []int{1, 2, 3, 4},
+		},
+		Aggs: []expr.AggSpec{
+			{Kind: expr.Sum, Arg: expr.IntCol(0), Name: "sb"},
+			{Kind: expr.Sum, Arg: expr.IntCol(1), Name: "sc"},
+			{Kind: expr.Sum, Arg: expr.IntCol(2), Name: "sd"},
+			{Kind: expr.Sum, Arg: expr.IntCol(3), Name: "se"},
+		},
+	}
+	w := (&workload.Workload{Name: "example"}).Add("q", q, 1)
+	return est, w
+}
+
+// TestCutsForExampleQuery: the derived cuts must include the selection
+// attribute alone and the aggregated attributes together — the paper's
+// motivating {{A},{B,C,D,E},...} decomposition hint that plain reasonable
+// cuts miss.
+func TestCutsForExampleQuery(t *testing.T) {
+	est, w := exampleSetup(20000)
+	o := NewOptimizer(est)
+	cuts := o.CutsFor("R", w)
+	var hasA, hasBCDE, hasUnion bool
+	for _, c := range cuts {
+		switch fingerprint(c.Attrs) {
+		case fingerprint([]int{0}):
+			hasA = true
+		case fingerprint([]int{1, 2, 3, 4}):
+			hasBCDE = true
+		case fingerprint([]int{0, 1, 2, 3, 4}):
+			hasUnion = true
+		}
+	}
+	if !hasA || !hasBCDE {
+		t.Errorf("extended cuts must separate {A} and {B,C,D,E}: %v", cuts)
+	}
+	if !hasUnion {
+		t.Errorf("classic per-query cut {A..E} missing: %v", cuts)
+	}
+}
+
+// TestOptimizeExampleQuery: BPi must find a layout that isolates the
+// selection column from the payload and beats both NSM and DSM under the
+// model (the paper's Fig. 3 argument for PDSM).
+func TestOptimizeExampleQuery(t *testing.T) {
+	est, w := exampleSetup(50000)
+	o := NewOptimizer(est)
+	best, cost := o.Optimize("R", w)
+	if err := best.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	nsmCost := w.Cost(est, map[string]storage.Layout{"R": storage.NSM(16)})
+	dsmCost := w.Cost(est, map[string]storage.Layout{"R": storage.DSM(16)})
+	if cost > nsmCost {
+		t.Errorf("optimized cost %v exceeds NSM cost %v", cost, nsmCost)
+	}
+	if cost > dsmCost {
+		t.Errorf("optimized cost %v exceeds DSM cost %v", cost, dsmCost)
+	}
+	// The selection attribute must not share a partition with unaccessed
+	// payload columns.
+	for _, g := range best.Groups {
+		hasA := false
+		hasCold := false
+		for _, a := range g {
+			if a == 0 {
+				hasA = true
+			}
+			if a >= 5 {
+				hasCold = true
+			}
+		}
+		if hasA && hasCold {
+			t.Errorf("selection column A shares a partition with cold columns: %v", best)
+		}
+	}
+}
+
+// TestBPiNearExhaustive compares BPi against the exhaustive set-partition
+// optimum on a small 6-attribute table: BPi must come within 15% (it
+// searches only cut-generated layouts; the paper accepts this
+// approximation for reduced search cost).
+func TestBPiNearExhaustive(t *testing.T) {
+	attrs := make([]storage.Attribute, 6)
+	for i := range attrs {
+		attrs[i] = storage.Attribute{Name: string(rune('a' + i)), Type: storage.Int64}
+	}
+	schema := storage.NewSchema("S", attrs...)
+	b := storage.NewBuilder(schema)
+	rng := rand.New(rand.NewSource(3))
+	rows := 20000
+	for a := 0; a < 6; a++ {
+		col := make([]int64, rows)
+		for i := range col {
+			col[i] = int64(rng.Intn(50))
+		}
+		b.SetInts(a, col)
+	}
+	cat := plan.NewCatalog().Add(b.Build(storage.NSM(6)))
+	est := costmodel.NewEstimator(cat, mem.TableIII())
+
+	w := &workload.Workload{Name: "mix"}
+	w.Add("sel01", plan.Scan{
+		Table:  "S",
+		Filter: expr.Cmp{Attr: 0, Op: expr.Eq, Val: storage.EncodeInt(7)},
+		Cols:   []int{1},
+	}, 10)
+	w.Add("scan23", plan.Scan{Table: "S", Cols: []int{2, 3}}, 5)
+	w.Add("point", plan.Scan{
+		Table:  "S",
+		Filter: expr.Cmp{Attr: 4, Op: expr.Eq, Val: storage.EncodeInt(3)},
+		Cols:   []int{0, 1, 2, 3, 4, 5},
+	}, 1)
+
+	o := NewOptimizer(est)
+	_, bpiCost := o.Optimize("S", w)
+	_, exhCost := Exhaustive(6, func(l storage.Layout) float64 {
+		return w.Cost(est, map[string]storage.Layout{"S": l})
+	})
+	if bpiCost < exhCost-1e-6 {
+		t.Fatalf("exhaustive (%v) cannot be worse than BPi (%v): bug in Exhaustive", exhCost, bpiCost)
+	}
+	if bpiCost > exhCost*1.15 {
+		t.Errorf("BPi cost %v more than 15%% above exhaustive optimum %v", bpiCost, exhCost)
+	}
+}
+
+// TestExhaustiveSmall sanity-checks the set-partition enumeration count by
+// construction: for width 3 there are 5 partitions (Bell(3)).
+func TestExhaustiveSmall(t *testing.T) {
+	count := 0
+	Exhaustive(3, func(l storage.Layout) float64 {
+		count++
+		return float64(count) // first partition (NSM ordering) wins
+	})
+	// Exhaustive evaluates all partitions plus the initial NSM baseline.
+	if count != 5+1 {
+		t.Errorf("enumerated %d partitions, want 6 (Bell(3)=5 plus baseline)", count)
+	}
+}
+
+// TestThresholdPruning: with an absurd threshold BPi must return the
+// baseline layout (everything pruned).
+func TestThresholdPruning(t *testing.T) {
+	est, w := exampleSetup(10000)
+	o := NewOptimizer(est)
+	o.Threshold = 1000 // impossible improvement
+	best, _ := o.Optimize("R", w)
+	if !best.Equal(storage.NSM(16)) {
+		t.Errorf("fully pruned search must keep NSM, got %v", best)
+	}
+}

@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec(capacity, block int64, assoc int) Spec {
+	return Spec{Name: "T", Capacity: capacity, BlockSize: block, Assoc: assoc, Latency: 1}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := newCache(testSpec(1024, 64, 2))
+	if hit, _ := c.access(0); hit {
+		t.Fatal("cold access must miss")
+	}
+	if hit, _ := c.access(8); !hit {
+		t.Fatal("same-line access must hit")
+	}
+	if hit, _ := c.access(64); hit {
+		t.Fatal("next-line access must miss")
+	}
+	st := c.stats
+	if st.Accesses != 3 || st.Hits != 1 || st.DemandMisses != 2 {
+		t.Fatalf("stats = %+v, want 3 accesses, 1 hit, 2 misses", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways of 64B lines = 256B capacity.
+	c := newCache(testSpec(256, 64, 2))
+	// Three blocks mapping to set 0: block numbers 0, 2, 4.
+	c.access(0 * 64)
+	c.access(2 * 64)
+	c.access(0 * 64) // touch block 0: block 2 becomes LRU
+	c.access(4 * 64) // evicts block 2
+	if hit, _ := c.access(0 * 64); !hit {
+		t.Error("block 0 should have survived (MRU)")
+	}
+	if hit, _ := c.access(2 * 64); hit {
+		t.Error("block 2 should have been evicted (LRU)")
+	}
+}
+
+func TestCacheFullyAssociative(t *testing.T) {
+	c := newCache(testSpec(4*64, 64, 0)) // 4 lines, fully associative
+	if c.sets != 1 || c.assoc != 4 {
+		t.Fatalf("got sets=%d assoc=%d, want 1 set x 4 ways", c.sets, c.assoc)
+	}
+	for i := uint64(0); i < 4; i++ {
+		c.access(i * 64)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if hit, _ := c.access(i * 64); !hit {
+			t.Errorf("line %d should be resident in fully-assoc cache", i)
+		}
+	}
+}
+
+func TestCachePrefetchedHitAccounting(t *testing.T) {
+	c := newCache(testSpec(1024, 64, 2))
+	c.prefetch(128)
+	if c.stats.PrefetchFills != 1 {
+		t.Fatalf("PrefetchFills = %d, want 1", c.stats.PrefetchFills)
+	}
+	hit, wasPF := c.access(128)
+	if !hit || !wasPF {
+		t.Fatalf("access after prefetch: hit=%v prefetched=%v, want true/true", hit, wasPF)
+	}
+	// Second touch of the same line is an ordinary hit.
+	hit, wasPF = c.access(136)
+	if !hit || wasPF {
+		t.Fatalf("second access: hit=%v prefetched=%v, want true/false", hit, wasPF)
+	}
+	if c.stats.PrefetchedHits != 1 {
+		t.Fatalf("PrefetchedHits = %d, want 1", c.stats.PrefetchedHits)
+	}
+}
+
+func TestCachePrefetchExistingLineIsNoop(t *testing.T) {
+	c := newCache(testSpec(1024, 64, 2))
+	c.access(0)
+	c.prefetch(0)
+	if c.stats.PrefetchFills != 0 {
+		t.Fatalf("prefetch of resident line must not fill, got %d fills", c.stats.PrefetchFills)
+	}
+	if hit, wasPF := c.access(0); !hit || wasPF {
+		t.Fatalf("line must stay a demand line, hit=%v prefetched=%v", hit, wasPF)
+	}
+}
+
+// TestCacheConservation checks the fundamental counter identity on random
+// address streams: accesses = hits + demand misses, and evictions never
+// exceed fills.
+func TestCacheConservation(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newCache(testSpec(2048, 64, 4))
+		for i := 0; i < int(n); i++ {
+			addr := uint64(rng.Intn(1 << 16))
+			if rng.Intn(8) == 0 {
+				c.prefetch(addr)
+			} else {
+				c.access(addr)
+			}
+		}
+		st := c.stats
+		fills := st.DemandMisses + st.PrefetchFills
+		return st.Accesses == st.Hits+st.DemandMisses &&
+			st.PrefetchedHits <= st.Hits &&
+			st.Evictions <= fills
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheCapacityBound: a working set that fits must produce no misses
+// after the cold pass, for any access order.
+func TestCacheCapacityBound(t *testing.T) {
+	c := newCache(testSpec(4096, 64, 0)) // fully associative: no conflict misses
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]uint64, 0, 64)
+	for i := 0; i < 64; i++ { // exactly 64 lines = capacity
+		addrs = append(addrs, uint64(i*64))
+	}
+	for _, a := range addrs {
+		c.access(a)
+	}
+	cold := c.stats.DemandMisses
+	if cold != 64 {
+		t.Fatalf("cold misses = %d, want 64", cold)
+	}
+	for i := 0; i < 1000; i++ {
+		c.access(addrs[rng.Intn(len(addrs))])
+	}
+	if c.stats.DemandMisses != cold {
+		t.Fatalf("resident working set produced %d extra misses", c.stats.DemandMisses-cold)
+	}
+}

@@ -1,0 +1,178 @@
+// Package pattern implements the memory access pattern algebra of the
+// Generic Cost Model (Manegold et al., VLDB '02) together with the paper's
+// extension, the Sequential Traversal with Conditional Reads (s_trav_cr).
+//
+// A Pattern is a formal description of the memory access behaviour of an
+// algorithm. Atomic patterns describe accesses to one memory region;
+// compound patterns compose atoms sequentially (⊕, one after another) or
+// concurrently (⊙, interleaved within one loop). The paper treats this
+// algebra as the instruction set of a "programmable" cost model: a query
+// plan is translated into a pattern program whose cost is then estimated
+// (package costmodel) or measured by replaying its address stream against
+// the simulated memory hierarchy (package mem).
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Region identifies the memory region an atomic pattern touches. Table and
+// Attrs are bookkeeping for the layout optimizer (which attributes of which
+// relation live in the region); they do not influence cost estimation,
+// which depends only on the numeric shape of the atom.
+type Region struct {
+	Table string
+	Attrs []int
+}
+
+// Pattern is a node of the access-pattern algebra.
+type Pattern interface {
+	fmt.Stringer
+	isPattern()
+}
+
+// STrav is s_trav(R.n, R.w): a sequential traversal of a region of R.n
+// items of width W bytes, unconditionally reading U bytes of each item.
+type STrav struct {
+	N      int64 // number of items
+	W      int64 // item width in bytes (the stride)
+	U      int64 // bytes actually read per item, U <= W
+	Region Region
+}
+
+// RTrav is r_trav(R.n, R.w): a traversal that touches every item exactly
+// once but in random order.
+type RTrav struct {
+	N      int64
+	W      int64
+	U      int64
+	Region Region
+}
+
+// RRAcc is rr_acc(R.n, R.w, r): R repetitive accesses, each to one of N
+// items chosen at random (items may be hit repeatedly or never).
+type RRAcc struct {
+	N      int64
+	W      int64
+	U      int64
+	R      int64 // number of accesses
+	Region Region
+}
+
+// STravCR is the paper's new atom s_trav_cr(R.n, R.w, s): a sequential
+// traversal in which each item is read (U bytes) only with probability S;
+// the cursor unconditionally advances W bytes per step (Figure 5).
+type STravCR struct {
+	N      int64
+	W      int64
+	U      int64
+	S      float64 // selectivity, 0 <= S <= 1
+	Region Region
+}
+
+// Seq is the sequential-execution operator ⊕: the child patterns run one
+// after another (a pipeline breaker between them).
+type Seq struct {
+	Ps []Pattern
+}
+
+// Par is the concurrent-execution operator ⊙: the child patterns are
+// interleaved within one pass, as when a single generated loop touches
+// several regions per tuple.
+type Par struct {
+	Ps []Pattern
+}
+
+func (STrav) isPattern()   {}
+func (RTrav) isPattern()   {}
+func (RRAcc) isPattern()   {}
+func (STravCR) isPattern() {}
+func (Seq) isPattern()     {}
+func (Par) isPattern()     {}
+
+func (p STrav) String() string { return fmt.Sprintf("s_trav(%d,%d)", p.N, p.W) }
+func (p RTrav) String() string { return fmt.Sprintf("r_trav(%d,%d)", p.N, p.W) }
+func (p RRAcc) String() string { return fmt.Sprintf("rr_acc(%d,%d,%d)", p.N, p.W, p.R) }
+func (p STravCR) String() string {
+	return fmt.Sprintf("s_trav_cr(%d,%d,%.4g)", p.N, p.W, p.S)
+}
+
+func joinPatterns(ps []Pattern, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func (p Seq) String() string { return "(" + joinPatterns(p.Ps, " ⊕ ") + ")" }
+func (p Par) String() string { return "(" + joinPatterns(p.Ps, " ⊙ ") + ")" }
+
+// Sequence builds a ⊕ composition, flattening nested Seq nodes and
+// dropping nils.
+func Sequence(ps ...Pattern) Pattern {
+	flat := flatten(ps, true)
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Seq{Ps: flat}
+}
+
+// Concurrent builds a ⊙ composition, flattening nested Par nodes and
+// dropping nils.
+func Concurrent(ps ...Pattern) Pattern {
+	flat := flatten(ps, false)
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Par{Ps: flat}
+}
+
+func flatten(ps []Pattern, seq bool) []Pattern {
+	var out []Pattern
+	for _, p := range ps {
+		switch v := p.(type) {
+		case nil:
+			continue
+		case Seq:
+			if seq {
+				out = append(out, v.Ps...)
+				continue
+			}
+			out = append(out, v)
+		case Par:
+			if !seq {
+				out = append(out, v.Ps...)
+				continue
+			}
+			out = append(out, v)
+		default:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Atoms returns the atomic patterns of p in left-to-right order.
+func Atoms(p Pattern) []Pattern {
+	var out []Pattern
+	var walk func(Pattern)
+	walk = func(p Pattern) {
+		switch v := p.(type) {
+		case Seq:
+			for _, c := range v.Ps {
+				walk(c)
+			}
+		case Par:
+			for _, c := range v.Ps {
+				walk(c)
+			}
+		case nil:
+		default:
+			out = append(out, p)
+		}
+	}
+	walk(p)
+	return out
+}

@@ -1,0 +1,195 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestStringRendering(t *testing.T) {
+	// The paper's example pattern (Table Ib):
+	// s_trav(26214400,4) ⊙ rr_acc(26214400,16,262144) ⊙ rr_acc(1,16,262144)
+	p := Concurrent(
+		STrav{N: 26214400, W: 4, U: 4},
+		RRAcc{N: 26214400, W: 16, U: 16, R: 262144},
+		RRAcc{N: 1, W: 16, U: 16, R: 262144},
+	)
+	want := "(s_trav(26214400,4) ⊙ rr_acc(26214400,16,262144) ⊙ rr_acc(1,16,262144))"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSequenceFlattens(t *testing.T) {
+	a := STrav{N: 1, W: 8, U: 8}
+	b := STrav{N: 2, W: 8, U: 8}
+	c := STrav{N: 3, W: 8, U: 8}
+	p := Sequence(Sequence(a, b), c)
+	seq, ok := p.(Seq)
+	if !ok || len(seq.Ps) != 3 {
+		t.Fatalf("nested Sequence should flatten to 3 children, got %v", p)
+	}
+	if got := len(Atoms(p)); got != 3 {
+		t.Errorf("Atoms = %d, want 3", got)
+	}
+}
+
+func TestConcurrentFlattensAndSingleton(t *testing.T) {
+	a := STrav{N: 1, W: 8, U: 8}
+	if _, ok := Concurrent(a).(STrav); !ok {
+		t.Error("singleton Concurrent should unwrap to the atom")
+	}
+	p := Concurrent(Concurrent(a, a), a)
+	par, ok := p.(Par)
+	if !ok || len(par.Ps) != 3 {
+		t.Fatalf("nested Concurrent should flatten to 3 children, got %v", p)
+	}
+	if !strings.Contains(p.String(), "⊙") {
+		t.Error("Par rendering must use the concurrency operator")
+	}
+}
+
+func simGeom() mem.Geometry {
+	return mem.Geometry{
+		Levels: []mem.Spec{
+			{Name: "L1", Capacity: 1 << 10, BlockSize: 8, Assoc: 8, Latency: 1},
+			{Name: "L2", Capacity: 8 << 10, BlockSize: 64, Assoc: 8, Latency: 3},
+			{Name: "L3", Capacity: 128 << 10, BlockSize: 64, Assoc: 16, Latency: 8},
+		},
+		TLB:             mem.Spec{Name: "TLB", Capacity: 1 << 20, BlockSize: 4096, Assoc: 0, Latency: 1},
+		Memory:          mem.Spec{Name: "Memory", Capacity: 1 << 40, BlockSize: 64, Latency: 12},
+		RegisterLatency: 1,
+	}
+}
+
+func TestSimulateSTravTouchesAllLines(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	// 64k items x 8 bytes = 512 KB = 8192 LLC lines, far beyond the 128 KB LLC.
+	Simulate(STrav{N: 65536, W: 8, U: 8}, h, 1)
+	llc := h.LLCStats()
+	brought := llc.DemandMisses + llc.PrefetchedHits
+	if brought < 8190 || brought > 8194 {
+		t.Errorf("sequential traversal brought %d lines, want ~8192", brought)
+	}
+	if llc.PrefetchedHits < brought*9/10 {
+		t.Errorf("sequential traversal should be almost fully prefetched, got %d of %d", llc.PrefetchedHits, brought)
+	}
+}
+
+func TestSimulateSTravCRSelectivityZeroAndOne(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	Simulate(STravCR{N: 100000, W: 8, U: 8, S: 0}, h, 1)
+	if got := h.Stats(0).Accesses; got != 0 {
+		t.Errorf("s=0 traversal performed %d accesses, want 0", got)
+	}
+	h.Reset()
+	Simulate(STravCR{N: 100000, W: 8, U: 8, S: 1}, h, 1)
+	if got := h.Stats(0).Accesses; got != 100000 {
+		t.Errorf("s=1 traversal performed %d accesses, want 100000", got)
+	}
+}
+
+func TestSimulateSTravCRIntermediateSelectivity(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	const n = 200000
+	Simulate(STravCR{N: n, W: 8, U: 8, S: 0.25}, h, 99)
+	got := h.Stats(0).Accesses
+	if got < n/4-n/50 || got > n/4+n/50 {
+		t.Errorf("s=0.25: %d accesses, want ~%d", got, n/4)
+	}
+}
+
+func TestSimulateRTravTouchesEveryItemOnce(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	const n = 50000
+	Simulate(RTrav{N: n, W: 8, U: 8}, h, 3)
+	if got := h.Stats(0).Accesses; got != n {
+		t.Errorf("r_trav accesses = %d, want %d (each item exactly once)", got, n)
+	}
+	llc := h.LLCStats()
+	// Random order over 400 KB (≫ LLC): mostly demand misses, few prefetched.
+	if llc.PrefetchedHits > llc.Accesses/5 {
+		t.Errorf("random traversal should defeat the prefetcher, got %d prefetched of %d", llc.PrefetchedHits, llc.Accesses)
+	}
+}
+
+func TestSimulateRRAccCount(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	Simulate(RRAcc{N: 1000, W: 8, U: 8, R: 12345}, h, 3)
+	if got := h.Stats(0).Accesses; got != 12345 {
+		t.Errorf("rr_acc accesses = %d, want 12345", got)
+	}
+}
+
+func TestSimulateWideItemsReadWordwise(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	Simulate(STrav{N: 100, W: 32, U: 16}, h, 1)
+	// 100 items x 16 bytes read = 200 word reads.
+	if got := h.Stats(0).Accesses; got != 200 {
+		t.Errorf("accesses = %d, want 200 (U=16 bytes per item)", got)
+	}
+}
+
+func TestSimulateParInterleaves(t *testing.T) {
+	// A concurrent pair of equal-length traversals must not behave like two
+	// back-to-back scans: the interleaving alternates regions, so accesses
+	// from both regions are interleaved in the LLC stream. We verify the
+	// total work and that both regions were fully covered.
+	h := mem.NewHierarchy(simGeom())
+	Simulate(Concurrent(
+		STrav{N: 5000, W: 8, U: 8},
+		STrav{N: 5000, W: 8, U: 8},
+	), h, 1)
+	if got := h.Stats(0).Accesses; got != 10000 {
+		t.Errorf("par total accesses = %d, want 10000", got)
+	}
+}
+
+func TestSimulateSeqRunsAllChildren(t *testing.T) {
+	h := mem.NewHierarchy(simGeom())
+	Simulate(Sequence(
+		STrav{N: 100, W: 8, U: 8},
+		RRAcc{N: 10, W: 8, U: 8, R: 50},
+	), h, 1)
+	if got := h.Stats(0).Accesses; got != 150 {
+		t.Errorf("seq total accesses = %d, want 150", got)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	run := func() (float64, mem.Stats) {
+		h := mem.NewHierarchy(simGeom())
+		Simulate(Concurrent(
+			STravCR{N: 30000, W: 8, U: 8, S: 0.3},
+			RRAcc{N: 5000, W: 16, U: 16, R: 9000},
+		), h, 77)
+		return h.Cycles(), h.LLCStats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Error("simulation with identical seed must be deterministic")
+	}
+}
+
+// Property: for any small atom shape, simulated accesses never exceed the
+// maximum possible word reads and cycles grow with work.
+func TestSimulatePropertyBounds(t *testing.T) {
+	f := func(nRaw uint16, wSel, uSel uint8) bool {
+		n := int64(nRaw%2000) + 1
+		w := int64(8 * (int(wSel)%4 + 1)) // 8,16,24,32
+		u := int64(8 * (int(uSel)%4 + 1))
+		if u > w {
+			u = w
+		}
+		h := mem.NewHierarchy(simGeom())
+		Simulate(STrav{N: n, W: w, U: u}, h, 5)
+		words := n * (u / 8)
+		return h.Stats(0).Accesses == words && h.Cycles() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package pattern
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Simulate replays the address stream described by p against the simulated
+// memory hierarchy h. Every atomic pattern is laid out in its own
+// page-aligned region of a virtual address space; Seq children execute one
+// after another; Par children are interleaved in lockstep by fractional
+// progress, which mirrors how a single generated loop advances all regions
+// it touches together.
+//
+// Randomness (conditional reads of s_trav_cr, the access order of r_trav,
+// the item choice of rr_acc) is drawn from a deterministic source seeded
+// with seed, so experiments are reproducible.
+func Simulate(p Pattern, h *mem.Hierarchy, seed int64) {
+	s := &sim{h: h, rng: rand.New(rand.NewSource(seed))}
+	s.run(p)
+}
+
+const pageSize = 4096
+
+type sim struct {
+	h        *mem.Hierarchy
+	rng      *rand.Rand
+	nextBase uint64
+}
+
+// alloc reserves a fresh region of at least size bytes, padded by a guard
+// page so the adjacent-line prefetcher cannot bleed across regions.
+func (s *sim) alloc(size int64) uint64 {
+	if size < 1 {
+		size = 1
+	}
+	base := s.nextBase
+	pages := (uint64(size) + pageSize - 1) / pageSize
+	s.nextBase += (pages + 1) * pageSize
+	return base
+}
+
+// stepper is one atom prepared for execution: n lockstep steps, each
+// performed by fn.
+type stepper struct {
+	n  int64
+	fn func(i int64)
+}
+
+func (s *sim) readItem(addr uint64, u int64) {
+	if u < 8 {
+		u = 8
+	}
+	for off := int64(0); off < u; off += 8 {
+		s.h.Read(addr + uint64(off))
+	}
+}
+
+func (s *sim) prepare(p Pattern) stepper {
+	switch a := p.(type) {
+	case STrav:
+		base := s.alloc(a.N * a.W)
+		return stepper{n: a.N, fn: func(i int64) {
+			s.readItem(base+uint64(i*a.W), a.U)
+		}}
+	case STravCR:
+		base := s.alloc(a.N * a.W)
+		return stepper{n: a.N, fn: func(i int64) {
+			if s.rng.Float64() < a.S {
+				s.readItem(base+uint64(i*a.W), a.U)
+			}
+		}}
+	case RTrav:
+		base := s.alloc(a.N * a.W)
+		perm := s.rng.Perm(int(a.N))
+		return stepper{n: a.N, fn: func(i int64) {
+			s.readItem(base+uint64(int64(perm[i])*a.W), a.U)
+		}}
+	case RRAcc:
+		base := s.alloc(a.N * a.W)
+		return stepper{n: a.R, fn: func(i int64) {
+			item := s.rng.Int63n(a.N)
+			s.readItem(base+uint64(item*a.W), a.U)
+		}}
+	default:
+		panic("pattern: prepare called on non-atomic pattern")
+	}
+}
+
+func (s *sim) run(p Pattern) {
+	switch v := p.(type) {
+	case nil:
+		return
+	case Seq:
+		for _, c := range v.Ps {
+			s.run(c)
+		}
+	case Par:
+		s.runPar(v.Ps)
+	default:
+		st := s.prepare(p)
+		for i := int64(0); i < st.n; i++ {
+			st.fn(i)
+		}
+	}
+}
+
+// runPar interleaves the children by fractional progress: at each step the
+// child that is least far through its own item sequence advances by one
+// item. Children that are themselves Seq/Par are executed as a unit at
+// their turn boundaries (nested concurrency beyond one level does not occur
+// in plans translated by the cost model).
+func (s *sim) runPar(ps []Pattern) {
+	var steps []stepper
+	for _, c := range ps {
+		switch c.(type) {
+		case Seq, Par:
+			// Degenerate nesting: run sequentially before the lockstep group.
+			s.run(c)
+		default:
+			steps = append(steps, s.prepare(c))
+		}
+	}
+	idx := make([]int64, len(steps))
+	for {
+		best := -1
+		var bestFrac float64
+		for k, st := range steps {
+			if idx[k] >= st.n {
+				continue
+			}
+			frac := float64(idx[k]) / float64(st.n)
+			if best < 0 || frac < bestFrac {
+				best = k
+				bestFrac = frac
+			}
+		}
+		if best < 0 {
+			return
+		}
+		steps[best].fn(idx[best])
+		idx[best]++
+	}
+}

@@ -1,0 +1,236 @@
+// Package plan defines logical query plans and the catalog binding table
+// names to memory-resident relations and their indexes. Plans are built
+// programmatically (the paper's workloads are fixed query sets); all four
+// execution engines consume the same plan and must produce identical
+// results, which the integration tests assert.
+package plan
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Catalog maps table names to relations and registered indexes. Separate
+// catalogs are built per storage layout so the same plans run unchanged
+// against row, column and hybrid representations.
+type Catalog struct {
+	tables  map[string]*storage.Relation
+	indexes map[string]map[int]index.Index
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:  map[string]*storage.Relation{},
+		indexes: map[string]map[int]index.Index{},
+	}
+}
+
+// Add registers rel under its schema name.
+func (c *Catalog) Add(rel *storage.Relation) *Catalog {
+	c.tables[rel.Schema.Name] = rel
+	return c
+}
+
+// Table returns the relation bound to name; it panics on unknown names to
+// keep experiment wiring fail-fast.
+func (c *Catalog) Table(name string) *storage.Relation {
+	r, ok := c.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("plan: unknown table %q", name))
+	}
+	return r
+}
+
+// Has reports whether a table is registered.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// AddIndex registers an index over table.attr.
+func (c *Catalog) AddIndex(table string, attr int, idx index.Index) {
+	if c.indexes[table] == nil {
+		c.indexes[table] = map[int]index.Index{}
+	}
+	c.indexes[table][attr] = idx
+}
+
+// Index returns the index on table.attr, or nil.
+func (c *Catalog) Index(table string, attr int) index.Index {
+	return c.indexes[table][attr]
+}
+
+// Node is a logical plan operator.
+type Node interface{ isNode() }
+
+// Scan reads a base table, optionally filtering on base-table attributes,
+// and outputs the Cols attributes in order. Execution engines may satisfy
+// an equality filter via a catalog index when one exists (the paper's
+// Figure 10 compares exactly this choice).
+type Scan struct {
+	Table  string
+	Filter expr.Pred // over base-table attribute indices; nil = all rows
+	Cols   []int     // projected base-table attributes; output position i = Cols[i]
+}
+
+// Select filters the child's output. Pred references child output
+// positions.
+type Select struct {
+	Child Node
+	Pred  expr.Pred
+}
+
+// Project computes scalar expressions over the child's output.
+type Project struct {
+	Child Node
+	Exprs []expr.Expr
+	Names []string
+}
+
+// HashJoin is an equi-join; output is the left columns followed by the
+// right columns. Keys are child output positions.
+type HashJoin struct {
+	Left, Right       Node
+	LeftKey, RightKey int
+}
+
+// Aggregate groups the child's output by the GroupBy positions and
+// computes the aggregates; output is group columns followed by aggregate
+// values.
+type Aggregate struct {
+	Child   Node
+	GroupBy []int
+	Aggs    []expr.AggSpec
+}
+
+// Sort orders the child's output.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// SortKey is one ordering criterion over an output position.
+type SortKey struct {
+	Pos  int
+	Desc bool
+}
+
+// Limit truncates the child's output.
+type Limit struct {
+	Child Node
+	N     int
+}
+
+// Insert appends tuples (in schema attribute order) to a table,
+// maintaining any registered indexes. Its result is a single row holding
+// the inserted count.
+type Insert struct {
+	Table string
+	Rows  [][]storage.Word
+}
+
+func (Scan) isNode()      {}
+func (Select) isNode()    {}
+func (Project) isNode()   {}
+func (HashJoin) isNode()  {}
+func (Aggregate) isNode() {}
+func (Sort) isNode()      {}
+func (Limit) isNode()     {}
+func (Insert) isNode()    {}
+
+// Column describes one output column of a plan node.
+type Column struct {
+	Name string
+	Type storage.Type
+}
+
+// Output computes the output schema of a plan node.
+func Output(n Node, c *Catalog) []Column {
+	switch v := n.(type) {
+	case Scan:
+		rel := c.Table(v.Table)
+		out := make([]Column, len(v.Cols))
+		for i, a := range v.Cols {
+			out[i] = Column{Name: rel.Schema.Attrs[a].Name, Type: rel.Schema.Attrs[a].Type}
+		}
+		return out
+	case Select:
+		return Output(v.Child, c)
+	case Project:
+		out := make([]Column, len(v.Exprs))
+		for i, e := range v.Exprs {
+			name := ""
+			if i < len(v.Names) {
+				name = v.Names[i]
+			}
+			out[i] = Column{Name: name, Type: e.Type()}
+		}
+		return out
+	case HashJoin:
+		return append(Output(v.Left, c), Output(v.Right, c)...)
+	case Aggregate:
+		child := Output(v.Child, c)
+		out := make([]Column, 0, len(v.GroupBy)+len(v.Aggs))
+		for _, g := range v.GroupBy {
+			out = append(out, child[g])
+		}
+		for _, a := range v.Aggs {
+			out = append(out, Column{Name: a.Name, Type: a.ResultType()})
+		}
+		return out
+	case Sort:
+		return Output(v.Child, c)
+	case Limit:
+		return Output(v.Child, c)
+	case Insert:
+		return []Column{{Name: "inserted", Type: storage.Int64}}
+	}
+	panic(fmt.Sprintf("plan: unknown node %T", n))
+}
+
+// AllCols returns [0..n) — a convenience for full-width scans.
+func AllCols(s *storage.Schema) []int {
+	out := make([]int, s.Width())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// EstimateSelectivity estimates the fraction of table rows passing p by
+// evaluating it over a deterministic pseudo-random sample of at most
+// maxSample rows (random rather than strided sampling avoids aliasing with
+// periodic data). The cost model and layout optimizer consume these
+// estimates.
+func EstimateSelectivity(c *Catalog, table string, p expr.Pred, maxSample int) float64 {
+	rel := c.Table(table)
+	n := rel.Rows()
+	if n == 0 {
+		return 0
+	}
+	if p == nil {
+		return 1
+	}
+	sample := n
+	if maxSample > 0 && sample > maxSample {
+		sample = maxSample
+	}
+	rng := rand.New(rand.NewSource(0x5e1ec7))
+	match := 0
+	for i := 0; i < sample; i++ {
+		row := i
+		if sample < n {
+			row = rng.Intn(n)
+		}
+		if expr.EvalPred(p, func(a int) storage.Word { return rel.Value(row, a) }) {
+			match++
+		}
+	}
+	return float64(match) / float64(sample)
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Dict is an order-preserving string dictionary. Codes assigned at build
+// time respect lexicographic order, so range predicates on string
+// attributes reduce to unsigned comparisons on codes. Values appended
+// after the build (by inserts) receive the next free code; such codes are
+// usable for equality but no longer order-preserving, which matches how
+// the benchmarks use inserted values.
+type Dict struct {
+	values []string
+	code   map[string]Word
+	sorted int // values[:sorted] are in lexicographic order
+}
+
+// BuildDict constructs a dictionary over the distinct values of vals,
+// assigning codes in lexicographic order.
+func BuildDict(vals []string) *Dict {
+	uniq := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		uniq[v] = struct{}{}
+	}
+	sorted := make([]string, 0, len(uniq))
+	for v := range uniq {
+		sorted = append(sorted, v)
+	}
+	sort.Strings(sorted)
+	d := &Dict{values: sorted, code: make(map[string]Word, len(sorted)), sorted: len(sorted)}
+	for i, v := range sorted {
+		d.code[v] = Word(i)
+	}
+	return d
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Code returns the code of v, if present.
+func (d *Dict) Code(v string) (Word, bool) {
+	c, ok := d.code[v]
+	return c, ok
+}
+
+// MustCode returns the code of v or panics; for benchmark parameter
+// binding, where the value is known to exist.
+func (d *Dict) MustCode(v string) Word {
+	c, ok := d.code[v]
+	if !ok {
+		panic("storage: value not in dictionary: " + v)
+	}
+	return c
+}
+
+// AppendCode returns the code for v, assigning a fresh (non-order-
+// preserving) code if v is new.
+func (d *Dict) AppendCode(v string) Word {
+	if c, ok := d.code[v]; ok {
+		return c
+	}
+	c := Word(len(d.values))
+	d.values = append(d.values, v)
+	d.code[v] = c
+	return c
+}
+
+// Value returns the string for a code.
+func (d *Dict) Value(c Word) string { return d.values[c] }
+
+// CodeSet is a bitset over dictionary codes, the compiled form of string
+// predicates such as LIKE: the predicate is evaluated once per distinct
+// value, and the per-tuple test becomes a single bit probe.
+type CodeSet struct {
+	bits []uint64
+	n    int
+}
+
+// MatchCodes compiles pred into a CodeSet by evaluating it on every
+// distinct value of the dictionary.
+func (d *Dict) MatchCodes(pred func(string) bool) *CodeSet {
+	cs := &CodeSet{bits: make([]uint64, (len(d.values)+63)/64), n: len(d.values)}
+	for i, v := range d.values {
+		if pred(v) {
+			cs.bits[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return cs
+}
+
+// Contains reports whether code c is in the set.
+func (cs *CodeSet) Contains(c Word) bool {
+	if c >= Word(cs.n) {
+		return false
+	}
+	return cs.bits[c>>6]&(1<<(c&63)) != 0
+}
+
+// Count returns the number of codes in the set.
+func (cs *CodeSet) Count() int {
+	total := 0
+	for _, w := range cs.bits {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

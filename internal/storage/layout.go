@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layout is a vertical partitioning of a schema: every attribute index
+// appears in exactly one group. One group holding all attributes is the
+// N-ary Storage Model (NSM, "row"); one group per attribute is the
+// Decomposed Storage Model (DSM, "column"); anything in between is the
+// Partially Decomposed Storage Model (PDSM, "hybrid").
+type Layout struct {
+	Groups [][]int
+}
+
+// NSM returns the single-partition (row-store) layout for n attributes.
+func NSM(n int) Layout {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return Layout{Groups: [][]int{g}}
+}
+
+// DSM returns the fully decomposed (column-store) layout for n attributes.
+func DSM(n int) Layout {
+	groups := make([][]int, n)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	return Layout{Groups: groups}
+}
+
+// PDSM builds a layout from explicit attribute groups.
+func PDSM(groups ...[]int) Layout {
+	return Layout{Groups: groups}
+}
+
+// Validate checks that the layout is a partitioning of n attributes:
+// every index in [0,n) occurs exactly once.
+func (l Layout) Validate(n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for gi, g := range l.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("storage: layout group %d is empty", gi)
+		}
+		for _, a := range g {
+			if a < 0 || a >= n {
+				return fmt.Errorf("storage: layout references attribute %d outside [0,%d)", a, n)
+			}
+			if seen[a] {
+				return fmt.Errorf("storage: attribute %d appears in multiple groups", a)
+			}
+			seen[a] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("storage: layout covers %d of %d attributes", count, n)
+	}
+	return nil
+}
+
+// Kind classifies the layout as "row", "column" or "hybrid".
+func (l Layout) Kind() string {
+	switch {
+	case len(l.Groups) == 1:
+		return "row"
+	case l.isDSM():
+		return "column"
+	default:
+		return "hybrid"
+	}
+}
+
+func (l Layout) isDSM() bool {
+	for _, g := range l.Groups {
+		if len(g) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the groups, e.g. "{{0,1},{2}}".
+func (l Layout) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, g := range l.Groups {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('{')
+		for j, a := range g {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", a)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Canonical returns an equivalent layout with each group sorted and groups
+// ordered by their smallest attribute — a normal form for comparisons.
+func (l Layout) Canonical() Layout {
+	groups := make([][]int, len(l.Groups))
+	for i, g := range l.Groups {
+		cp := append([]int(nil), g...)
+		sort.Ints(cp)
+		groups[i] = cp
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return Layout{Groups: groups}
+}
+
+// Equal reports whether two layouts describe the same partitioning.
+func (l Layout) Equal(o Layout) bool {
+	return l.Canonical().String() == o.Canonical().String()
+}

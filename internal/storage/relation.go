@@ -1,0 +1,292 @@
+package storage
+
+import "fmt"
+
+// Partition is one vertical partition of a relation: the values of a group
+// of attributes, stored row-major in a single contiguous word slice
+// (stride = number of attributes in the group). A one-attribute partition
+// is a plain column; the all-attribute partition is an N-ary row store.
+type Partition struct {
+	Attrs  []int // schema attribute indices, in storage order
+	Stride int   // words per row (= len(Attrs))
+	Data   []Word
+}
+
+// Rows returns the number of tuples in the partition.
+func (p *Partition) Rows() int {
+	if p.Stride == 0 {
+		return 0
+	}
+	return len(p.Data) / p.Stride
+}
+
+// WidthBytes returns the per-tuple byte width of the partition — the
+// R.w parameter of the partition's access patterns.
+func (p *Partition) WidthBytes() int64 { return int64(p.Stride) * WordBytes }
+
+// Accessor describes the physical location of one attribute inside a
+// relation: index Data[row*Stride+Off]. The JiT engine fuses these into
+// its generated loops; no method call remains on the per-tuple path.
+type Accessor struct {
+	Data   []Word
+	Stride int
+	Off    int
+}
+
+// At returns the attribute value of the given row.
+func (a Accessor) At(row int) Word { return a.Data[row*a.Stride+a.Off] }
+
+// Relation is a memory-resident table in a chosen vertical layout. The
+// same logical content can be materialized under any layout via Builder or
+// WithLayout; dictionaries are shared between such siblings.
+type Relation struct {
+	Schema *Schema
+	Layout Layout
+	Parts  []*Partition
+	Dicts  []*Dict // indexed by attribute; nil for non-string attributes
+
+	rows    int
+	groupOf []int // attribute -> partition index
+	offOf   []int // attribute -> offset within partition row
+}
+
+// NewRelation creates an empty relation with the given layout.
+func NewRelation(schema *Schema, layout Layout) *Relation {
+	if err := layout.Validate(schema.Width()); err != nil {
+		panic(fmt.Sprintf("storage: invalid layout for %s: %v", schema.Name, err))
+	}
+	r := &Relation{
+		Schema:  schema,
+		Layout:  layout,
+		Dicts:   make([]*Dict, schema.Width()),
+		groupOf: make([]int, schema.Width()),
+		offOf:   make([]int, schema.Width()),
+	}
+	for gi, g := range layout.Groups {
+		p := &Partition{Attrs: append([]int(nil), g...), Stride: len(g)}
+		r.Parts = append(r.Parts, p)
+		for off, attr := range g {
+			r.groupOf[attr] = gi
+			r.offOf[attr] = off
+		}
+	}
+	return r
+}
+
+// Rows returns the tuple count.
+func (r *Relation) Rows() int { return r.rows }
+
+// PartitionOf returns the partition holding attr.
+func (r *Relation) PartitionOf(attr int) *Partition { return r.Parts[r.groupOf[attr]] }
+
+// Access returns the physical accessor for attr.
+func (r *Relation) Access(attr int) Accessor {
+	p := r.Parts[r.groupOf[attr]]
+	return Accessor{Data: p.Data, Stride: p.Stride, Off: r.offOf[attr]}
+}
+
+// Value returns the value of attr in the given row through a method call —
+// the access path of the interpretive engines.
+func (r *Relation) Value(row, attr int) Word {
+	p := r.Parts[r.groupOf[attr]]
+	return p.Data[row*p.Stride+r.offOf[attr]]
+}
+
+// SetValue overwrites one cell.
+func (r *Relation) SetValue(row, attr int, w Word) {
+	p := r.Parts[r.groupOf[attr]]
+	p.Data[row*p.Stride+r.offOf[attr]] = w
+}
+
+// AppendRow appends one tuple given in schema attribute order and returns
+// its row id.
+func (r *Relation) AppendRow(vals []Word) int {
+	if len(vals) != r.Schema.Width() {
+		panic(fmt.Sprintf("storage: AppendRow got %d values for width-%d schema", len(vals), r.Schema.Width()))
+	}
+	for gi, p := range r.Parts {
+		for _, attr := range r.Layout.Groups[gi] {
+			p.Data = append(p.Data, vals[attr])
+		}
+	}
+	r.rows++
+	return r.rows - 1
+}
+
+// RowValues materializes one tuple in schema attribute order.
+func (r *Relation) RowValues(row int, dst []Word) []Word {
+	if dst == nil {
+		dst = make([]Word, r.Schema.Width())
+	}
+	for attr := range r.Schema.Attrs {
+		dst[attr] = r.Value(row, attr)
+	}
+	return dst
+}
+
+// StringOf decodes a string attribute value of the given row.
+func (r *Relation) StringOf(row, attr int) string {
+	w := r.Value(row, attr)
+	if w == Null {
+		return ""
+	}
+	return r.Dicts[attr].Value(w)
+}
+
+// Dict returns the dictionary of a string attribute (nil otherwise).
+func (r *Relation) Dict(attr int) *Dict { return r.Dicts[attr] }
+
+// WithLayout materializes the relation's content under a different layout.
+// Dictionaries are shared: codes remain valid across siblings.
+func (r *Relation) WithLayout(layout Layout) *Relation {
+	out := NewRelation(r.Schema, layout)
+	out.Dicts = r.Dicts
+	out.rows = r.rows
+	for gi, p := range out.Parts {
+		p.Data = make([]Word, r.rows*p.Stride)
+		for off, attr := range out.Layout.Groups[gi] {
+			src := r.Access(attr)
+			for row := 0; row < r.rows; row++ {
+				p.Data[row*p.Stride+off] = src.Data[row*src.Stride+src.Off]
+			}
+		}
+	}
+	return out
+}
+
+// Builder accumulates column data and materializes relations in any
+// layout. String columns are collected as raw strings; Build constructs an
+// order-preserving dictionary per string column.
+type Builder struct {
+	schema *Schema
+	words  [][]Word   // per attribute; nil for pending string columns
+	strs   [][]string // per attribute; non-nil only for string columns
+	rows   int
+	dicts  []*Dict
+}
+
+// Schema returns the builder's target schema.
+func (b *Builder) Schema() *Schema { return b.schema }
+
+// NewBuilder creates a builder for the schema.
+func NewBuilder(schema *Schema) *Builder {
+	return &Builder{
+		schema: schema,
+		words:  make([][]Word, schema.Width()),
+		strs:   make([][]string, schema.Width()),
+		dicts:  make([]*Dict, schema.Width()),
+	}
+}
+
+// SetWords supplies the encoded words of a non-string column.
+func (b *Builder) SetWords(attr int, vals []Word) *Builder {
+	b.words[attr] = vals
+	b.noteRows(len(vals))
+	return b
+}
+
+// SetInts supplies a signed integer column.
+func (b *Builder) SetInts(attr int, vals []int64) *Builder {
+	w := make([]Word, len(vals))
+	for i, v := range vals {
+		w[i] = EncodeInt(v)
+	}
+	return b.SetWords(attr, w)
+}
+
+// SetFloats supplies a float column.
+func (b *Builder) SetFloats(attr int, vals []float64) *Builder {
+	w := make([]Word, len(vals))
+	for i, v := range vals {
+		w[i] = EncodeFloat(v)
+	}
+	return b.SetWords(attr, w)
+}
+
+// SetStrings supplies a string column.
+func (b *Builder) SetStrings(attr int, vals []string) *Builder {
+	b.strs[attr] = vals
+	b.noteRows(len(vals))
+	return b
+}
+
+// SetStringsWithNulls supplies a string column where isNull marks absent
+// values; null cells are stored as the Null word and excluded from the
+// dictionary.
+func (b *Builder) SetStringsWithNulls(attr int, vals []string, isNull []bool) *Builder {
+	present := make([]string, 0, len(vals))
+	for i, v := range vals {
+		if !isNull[i] {
+			present = append(present, v)
+		}
+	}
+	d := BuildDict(present)
+	w := make([]Word, len(vals))
+	for i, v := range vals {
+		if isNull[i] {
+			w[i] = Null
+		} else {
+			w[i] = d.MustCode(v)
+		}
+	}
+	b.dicts[attr] = d
+	b.SetWords(attr, w)
+	b.strs[attr] = nil
+	b.noteDict(attr, d)
+	return b
+}
+
+func (b *Builder) noteDict(attr int, d *Dict) { b.dicts[attr] = d }
+
+func (b *Builder) noteRows(n int) {
+	if b.rows == 0 {
+		b.rows = n
+		return
+	}
+	if n != b.rows {
+		panic(fmt.Sprintf("storage: column length %d differs from earlier columns (%d)", n, b.rows))
+	}
+}
+
+// Build materializes the collected columns under the given layout.
+func (b *Builder) Build(layout Layout) *Relation {
+	r := NewRelation(b.schema, layout)
+	cols := make([][]Word, b.schema.Width())
+	for attr := range b.schema.Attrs {
+		switch {
+		case b.words[attr] != nil:
+			cols[attr] = b.words[attr]
+		case b.strs[attr] != nil:
+			if b.dicts[attr] == nil {
+				b.dicts[attr] = BuildDict(b.strs[attr])
+			}
+			d := b.dicts[attr]
+			w := make([]Word, len(b.strs[attr]))
+			for i, s := range b.strs[attr] {
+				w[i] = d.MustCode(s)
+			}
+			cols[attr] = w
+		default:
+			// Unset column: all NULL.
+			w := make([]Word, b.rows)
+			for i := range w {
+				w[i] = Null
+			}
+			cols[attr] = w
+		}
+		if b.dicts[attr] != nil {
+			r.Dicts[attr] = b.dicts[attr]
+		}
+	}
+	r.rows = b.rows
+	for gi, p := range r.Parts {
+		p.Data = make([]Word, b.rows*p.Stride)
+		for off, attr := range r.Layout.Groups[gi] {
+			col := cols[attr]
+			for row := 0; row < b.rows; row++ {
+				p.Data[row*p.Stride+off] = col[row]
+			}
+		}
+	}
+	return r
+}

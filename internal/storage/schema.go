@@ -1,0 +1,58 @@
+package storage
+
+import "fmt"
+
+// Attribute is one column of a relational schema.
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a relation: an ordered list of attributes.
+type Schema struct {
+	Name   string
+	Attrs  []Attribute
+	byName map[string]int
+}
+
+// NewSchema builds a schema; attribute names must be unique.
+func NewSchema(name string, attrs ...Attribute) *Schema {
+	s := &Schema{Name: name, Attrs: attrs, byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.byName[a.Name]; dup {
+			panic(fmt.Sprintf("storage: duplicate attribute %q in schema %q", a.Name, name))
+		}
+		s.byName[a.Name] = i
+	}
+	return s
+}
+
+// Width returns the number of attributes.
+func (s *Schema) Width() int { return len(s.Attrs) }
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Col is AttrIndex that panics on unknown names; it keeps query
+// construction in benchmarks and examples terse and fail-fast.
+func (s *Schema) Col(name string) int {
+	i := s.AttrIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("storage: schema %q has no attribute %q", s.Name, name))
+	}
+	return i
+}
+
+// AttrNames returns the names of the given attribute indices.
+func (s *Schema) AttrNames(idx []int) []string {
+	out := make([]string, len(idx))
+	for i, a := range idx {
+		out[i] = s.Attrs[a].Name
+	}
+	return out
+}

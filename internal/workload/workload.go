@@ -1,0 +1,40 @@
+// Package workload represents weighted query mixes: the unit of input for
+// the layout optimizer and the benchmark harness. A workload is a set of
+// plans with execution frequencies (the paper's CNET benchmark weights its
+// queries 1/1/100/10000, Table V).
+package workload
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Query is one workload member.
+type Query struct {
+	Name      string
+	Plan      plan.Node
+	Frequency float64 // relative execution count
+}
+
+// Workload is a weighted query set.
+type Workload struct {
+	Name    string
+	Queries []Query
+}
+
+// Add appends a query with the given frequency.
+func (w *Workload) Add(name string, p plan.Node, freq float64) *Workload {
+	w.Queries = append(w.Queries, Query{Name: name, Plan: p, Frequency: freq})
+	return w
+}
+
+// Cost prices the whole workload under layout overrides using the cached
+// estimator: Σ frequency · cost(query).
+func (w *Workload) Cost(e *costmodel.Estimator, layouts map[string]storage.Layout) float64 {
+	total := 0.0
+	for _, q := range w.Queries {
+		total += q.Frequency * e.CostOfPlan(q.Plan, layouts)
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/expr"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func testEstimator() (*costmodel.Estimator, plan.Node, plan.Node) {
+	schema := storage.NewSchema("t",
+		storage.Attribute{Name: "a", Type: storage.Int64},
+		storage.Attribute{Name: "b", Type: storage.Int64},
+	)
+	b := storage.NewBuilder(schema)
+	n := 10000
+	as := make([]int64, n)
+	bs := make([]int64, n)
+	for i := range as {
+		as[i] = int64(i % 100)
+		bs[i] = int64(i)
+	}
+	b.SetInts(0, as).SetInts(1, bs)
+	cat := plan.NewCatalog().Add(b.Build(storage.NSM(2)))
+	scan := plan.Scan{Table: "t", Cols: []int{0, 1}}
+	sel := plan.Scan{Table: "t", Filter: expr.Cmp{Attr: 0, Op: expr.Eq, Val: storage.EncodeInt(7)}, Cols: []int{1}}
+	return costmodel.NewEstimator(cat, mem.TableIII()), scan, sel
+}
+
+func TestAddAndCost(t *testing.T) {
+	est, scan, sel := testEstimator()
+	w := (&Workload{Name: "w"}).Add("scan", scan, 2).Add("sel", sel, 3)
+	if len(w.Queries) != 2 || w.Queries[0].Frequency != 2 {
+		t.Fatal("Add broken")
+	}
+	total := w.Cost(est, nil)
+	scanCost := est.CostOfPlan(scan, nil)
+	selCost := est.CostOfPlan(sel, nil)
+	want := 2*scanCost + 3*selCost
+	if math.Abs(total-want) > 1e-6*want {
+		t.Errorf("Cost = %v, want %v", total, want)
+	}
+}
+
+func TestCostScalesWithFrequency(t *testing.T) {
+	est, scan, _ := testEstimator()
+	w1 := (&Workload{}).Add("q", scan, 1)
+	w10 := (&Workload{}).Add("q", scan, 10)
+	if math.Abs(w10.Cost(est, nil)-10*w1.Cost(est, nil)) > 1e-6 {
+		t.Error("cost must scale linearly with frequency")
+	}
+}
+
+func TestCostRespectsLayoutOverrides(t *testing.T) {
+	est, _, sel := testEstimator()
+	w := (&Workload{}).Add("sel", sel, 1)
+	row := w.Cost(est, map[string]storage.Layout{"t": storage.NSM(2)})
+	col := w.Cost(est, map[string]storage.Layout{"t": storage.DSM(2)})
+	if row == col {
+		t.Error("layout override had no effect on the workload cost")
+	}
+}
