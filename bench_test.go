@@ -14,13 +14,16 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench/chbench"
 	"repro/internal/bench/cnet"
 	"repro/internal/bench/sapsd"
 	"repro/internal/costmodel"
+	"repro/internal/exec"
 	"repro/internal/exec/jit"
+	"repro/internal/exec/par"
 	"repro/internal/exec/result"
 	"repro/internal/exec/vector"
 	"repro/internal/experiments"
@@ -32,7 +35,10 @@ import (
 )
 
 // BenchmarkFig03 regenerates Figure 3: the example query under every
-// processing model and storage layout across the selectivity sweep.
+// processing model and storage layout across the selectivity sweep. The
+// trailing workers sub-benchmarks add the morsel-parallel JiT engine on
+// the paper's headline cell (column layout, sel = 0.5) so serial and
+// parallel numbers land in one run.
 func BenchmarkFig03(b *testing.B) {
 	setup := experiments.NewFig3Setup(1_000_000)
 	for _, e := range experiments.Fig3Engines() {
@@ -47,6 +53,82 @@ func BenchmarkFig03(b *testing.B) {
 				})
 			}
 		}
+	}
+	cat := setup.Catalogs["column"]
+	q := setup.Query(0.5)
+	for _, w := range workerCounts() {
+		e := jit.NewParallel(par.Options{Workers: w})
+		b.Run(fmt.Sprintf("jit/column/sel=0.5/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Run(q, cat)
+			}
+		})
+	}
+}
+
+// workerCounts is the scaling sweep: 1 (serial baseline), powers of two up
+// to the machine, and the machine itself.
+func workerCounts() []int {
+	counts := []int{1}
+	for w := 2; w < runtime.NumCPU(); w *= 2 {
+		counts = append(counts, w)
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallelScaling measures the morsel scheduler: the Figure 3
+// aggregate (fused fast path) and the bare filtered scan (arena-backed row
+// emit) on the column layout, for the JiT and vectorized engines across
+// the worker sweep. workers=1 is the serial engine — the paper's
+// configuration — so each series' first entry is the scaling baseline.
+func BenchmarkParallelScaling(b *testing.B) {
+	setup := experiments.NewFig3Setup(1_000_000)
+	cat := setup.Catalogs["column"]
+	agg := setup.Query(0.5)
+	scan := agg.(plan.Aggregate).Child
+	for _, w := range workerCounts() {
+		opt := par.Options{Workers: w}
+		engines := map[string]interface {
+			Run(plan.Node, *plan.Catalog) *result.Set
+		}{
+			"jit":    jit.NewParallel(opt),
+			"vector": vector.NewParallel(opt),
+		}
+		for _, name := range []string{"jit", "vector"} {
+			e := engines[name]
+			b.Run(fmt.Sprintf("%s/aggregate/workers=%d", name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.Run(agg, cat)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/scan/workers=%d", name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e.Run(scan, cat)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScanMaterialize isolates the arena result path: a full-table
+// four-column scan materialized to a result set. allocs/op is the headline
+// number — the arena turns one heap slice per row into one per 256 KB
+// chunk.
+func BenchmarkScanMaterialize(b *testing.B) {
+	setup := experiments.NewFig3Setup(1_000_000)
+	cat := setup.Catalogs["column"]
+	scan := plan.Scan{Table: "R", Cols: []int{1, 2, 3, 4}}
+	for _, e := range []exec.Engine{jit.New(), vector.New()} {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Run(scan, cat)
+			}
+		})
 	}
 }
 

@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "shrink data sets for a fast pass")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "shrink data sets for a fast pass")
+		list    = flag.Bool("list", false, "list experiment ids")
+		workers = flag.Int("workers", 0, "morsel-scheduler workers for the JiT engine (0 or 1 = serial, as the paper measures; -1 = all cores)")
 	)
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func main() {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		return
 	}
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, Workers: *workers}
 	switch {
 	case *all:
 		for _, rep := range experiments.All(opt) {

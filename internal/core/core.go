@@ -26,6 +26,7 @@ import (
 	"repro/internal/exec/bulk"
 	"repro/internal/exec/hyrise"
 	"repro/internal/exec/jit"
+	"repro/internal/exec/par"
 	"repro/internal/exec/result"
 	"repro/internal/exec/vector"
 	"repro/internal/exec/volcano"
@@ -55,6 +56,24 @@ func Open() *DB {
 		engine:   jit.New(),
 		mix:      &workload.Workload{Name: "default"},
 	}
+}
+
+// SetWorkers configures the morsel-scheduler worker count of the
+// database's compiled engine, with the same convention as the benchrunner
+// -workers flag and experiments.Options.Workers: 0 or 1 selects the
+// serial engine (the paper's single-core configuration), n > 1 a fixed
+// pool, n < 0 GOMAXPROCS. Results are unaffected — parallel scans produce
+// identical rows in identical order.
+func (db *DB) SetWorkers(n int) *DB {
+	switch {
+	case n == 0 || n == 1:
+		db.engine = jit.New()
+	case n < 0:
+		db.engine = jit.NewParallel(par.Options{})
+	default:
+		db.engine = jit.NewParallel(par.Options{Workers: n})
+	}
+	return db
 }
 
 // Catalog exposes the underlying catalog (advanced use).

@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec/bulk"
 	"repro/internal/exec/hyrise"
 	"repro/internal/exec/jit"
+	"repro/internal/exec/par"
 	"repro/internal/exec/result"
 	"repro/internal/exec/vector"
 	"repro/internal/exec/volcano"
@@ -20,7 +21,13 @@ import (
 )
 
 func engines() []exec.Engine {
-	return []exec.Engine{volcano.New(), bulk.New(), hyrise.New(), jit.New(), vector.New()}
+	// The morsel-parallel engines ride along in every differential test;
+	// tiny morsels force real multi-morsel merges on these small tables.
+	popt := par.Options{Workers: 3, MorselRows: 128}
+	return []exec.Engine{
+		volcano.New(), bulk.New(), hyrise.New(), jit.New(), vector.New(),
+		jit.NewParallel(popt), vector.NewParallel(popt),
+	}
 }
 
 // testTable builds a small relation with mixed types under all three

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/exec/par"
 	"repro/internal/expr"
 	"repro/internal/index"
 	"repro/internal/plan"
@@ -73,8 +74,12 @@ type stage struct {
 	tests   []test
 	complex expr.Pred
 
-	// stProbe: regs become buildRow ++ oldRegs.
-	table    map[storage.Word][][]storage.Word
+	// stProbe: regs become buildRow ++ oldRegs. The build side is one flat
+	// row-major buffer (stride addWidth); the table maps join keys to row
+	// indices into it, so building costs one slice per key instead of one
+	// per key plus one per row.
+	build    []storage.Word
+	table    map[storage.Word][]int32
 	keyReg   int
 	addWidth int
 
@@ -112,20 +117,21 @@ type pipe struct {
 }
 
 // compilePipe lowers a plan subtree into a pipeline. The caller must not
-// pass pipeline breakers (Aggregate, Sort, Limit, Insert).
-func compilePipe(n plan.Node, c *plan.Catalog) *pipe {
+// pass pipeline breakers (Aggregate, Sort, Limit, Insert). opt governs the
+// execution of nested pipeline breakers (hash-join build sides).
+func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options) *pipe {
 	switch v := n.(type) {
 	case plan.Scan:
 		return compileScan(v, c)
 
 	case plan.Select:
-		p := compilePipe(v.Child, c)
+		p := compilePipe(v.Child, c, opt)
 		tests, complexPred := compileRegPred(v.Pred)
 		p.stages = append(p.stages, stage{kind: stFilter, tests: tests, complex: complexPred})
 		return p
 
 	case plan.Project:
-		p := compilePipe(v.Child, c)
+		p := compilePipe(v.Child, c, opt)
 		maps := make([]mapSlot, len(v.Exprs))
 		for i, e := range v.Exprs {
 			if col, ok := e.(expr.Col); ok {
@@ -144,18 +150,22 @@ func compilePipe(n plan.Node, c *plan.Catalog) *pipe {
 		return p
 
 	case plan.HashJoin:
-		// Build side: materialize (pipeline breaker) and hash.
-		leftRows := runNode(v.Left, c)
+		// Build side: materialize (pipeline breaker) into one flat
+		// row-major buffer and hash row indices into it.
+		leftRows := prepareNode(v.Left, c, opt)()
 		leftWidth := nodeWidth(v.Left, c)
-		table := make(map[storage.Word][][]storage.Word, len(leftRows))
-		for _, row := range leftRows {
+		build := make([]storage.Word, 0, len(leftRows)*leftWidth)
+		table := make(map[storage.Word][]int32, len(leftRows))
+		for i, row := range leftRows {
+			build = append(build, row...)
 			k := row[v.LeftKey]
-			table[k] = append(table[k], row)
+			table[k] = append(table[k], int32(i))
 		}
 		// Probe side: continue the pipeline.
-		p := compilePipe(v.Right, c)
+		p := compilePipe(v.Right, c, opt)
 		p.stages = append(p.stages, stage{
 			kind:     stProbe,
+			build:    build,
 			table:    table,
 			keyReg:   v.RightKey,
 			addWidth: leftWidth,

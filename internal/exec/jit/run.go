@@ -2,17 +2,28 @@ package jit
 
 import (
 	"repro/internal/exec"
+	"repro/internal/exec/par"
 	"repro/internal/exec/result"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
-// Engine is the JiT-compilation engine.
-type Engine struct{}
+// Engine is the JiT-compilation engine. The zero value runs scans on every
+// core; use New for the serial engine or NewParallel to pick a worker
+// count.
+type Engine struct {
+	opt par.Options
+}
 
-// New returns the engine.
-func New() Engine { return Engine{} }
+// New returns the serial engine (workers = 1), the configuration of the
+// paper's single-core measurements.
+func New() Engine { return Engine{opt: par.Serial()} }
+
+// NewParallel returns an engine whose table scans run under the morsel
+// scheduler with the given options (Workers == 0 means GOMAXPROCS).
+// Results are identical to the serial engine's, row order included.
+func NewParallel(opt par.Options) Engine { return Engine{opt: opt} }
 
 // Name returns "jit".
 func (Engine) Name() string { return "jit" }
@@ -20,11 +31,11 @@ func (Engine) Name() string { return "jit" }
 // Run compiles the plan into pipeline programs and executes them once.
 // Repeated executions of the same plan should use Prepare, which separates
 // compilation from execution the way HyPer's query compiler does.
-func (Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
+func (e Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
 	if ins, ok := n.(plan.Insert); ok {
 		return exec.RunInsert(ins, c)
 	}
-	return Prepare(n, c).Exec()
+	return PrepareOpt(n, c, e.opt).Exec()
 }
 
 // Prepared is a compiled query: the pipeline programs, probe tables and
@@ -37,15 +48,21 @@ type Prepared struct {
 	exec func() [][]storage.Word
 }
 
-// Prepare compiles the plan against the catalog.
+// Prepare compiles the plan against the catalog for serial execution.
 func Prepare(n plan.Node, c *plan.Catalog) *Prepared {
+	return PrepareOpt(n, c, par.Serial())
+}
+
+// PrepareOpt compiles the plan with the given parallelism options baked
+// into the executable form.
+func PrepareOpt(n plan.Node, c *plan.Catalog, opt par.Options) *Prepared {
 	if ins, ok := n.(plan.Insert); ok {
 		return &Prepared{
 			cols: plan.Output(n, c),
 			exec: func() [][]storage.Word { return exec.RunInsert(ins, c).Rows },
 		}
 	}
-	return &Prepared{cols: plan.Output(n, c), exec: prepareNode(n, c)}
+	return &Prepared{cols: plan.Output(n, c), exec: prepareNode(n, c, opt)}
 }
 
 // Exec runs the compiled query.
@@ -55,24 +72,19 @@ func (p *Prepared) Exec() *result.Set {
 	return out
 }
 
-// runNode executes a plan subtree to materialized rows (compile + run).
-func runNode(n plan.Node, c *plan.Catalog) [][]storage.Word {
-	return prepareNode(n, c)()
-}
-
 // prepareNode compiles a plan subtree into an executable closure. Pipeline
 // breakers (aggregate, sort, limit) sit between compiled pipelines.
-func prepareNode(n plan.Node, c *plan.Catalog) func() [][]storage.Word {
+func prepareNode(n plan.Node, c *plan.Catalog, opt par.Options) func() [][]storage.Word {
 	switch v := n.(type) {
 	case plan.Sort:
-		child := prepareNode(v.Child, c)
+		child := prepareNode(v.Child, c, opt)
 		return func() [][]storage.Word {
 			rows := child()
 			exec.SortRows(rows, v.Keys)
 			return rows
 		}
 	case plan.Limit:
-		child := prepareNode(v.Child, c)
+		child := prepareNode(v.Child, c, opt)
 		return func() [][]storage.Word {
 			rows := child()
 			if len(rows) > v.N {
@@ -81,55 +93,63 @@ func prepareNode(n plan.Node, c *plan.Catalog) func() [][]storage.Word {
 			return rows
 		}
 	case plan.Aggregate:
-		p := compilePipe(v.Child, c)
+		p := compilePipe(v.Child, c, opt)
 		return func() [][]storage.Word {
-			if rows, ok := fastScanAggregate(p, v); ok {
+			if rows, ok := fastScanAggregate(p, v, opt); ok {
 				return rows
 			}
-			return genericAggregate(p, v)
+			return genericAggregate(p, v, opt)
 		}
 	default:
-		p := compilePipe(n, c)
+		p := compilePipe(n, c, opt)
 		return func() [][]storage.Word {
-			r := &runner{p: p}
+			if p.parallelizable(opt) {
+				return p.runParallelRows(opt)
+			}
+			r := &runner{}
 			p.run(r.emitRow)
 			return r.rows
 		}
 	}
 }
 
+// runner materializes emitted register images through an arena, so a full
+// scan costs one allocation per arena chunk instead of one per row.
 type runner struct {
-	p    *pipe
-	rows [][]storage.Word
+	arena result.Arena
+	rows  [][]storage.Word
 }
 
 func (r *runner) emitRow(regs []storage.Word) {
-	r.rows = append(r.rows, append([]storage.Word(nil), regs...))
+	r.rows = append(r.rows, r.arena.Copy(regs))
 }
 
-// run drives the pipeline: one fused loop over the source rows, applying
-// compiled tests by direct slice access, loading registers, executing the
-// stages and calling emit for every surviving register image. The emit
+// run drives the pipeline serially: index lookups take the fetch loop
+// below, table scans take the fused range loop in runRange. The emit
 // indirection is the only per-row call left; the paper's hot shapes avoid
 // even that through the fast paths in aggregate.go.
 func (p *pipe) run(emit func([]storage.Word)) {
+	if !p.useIndex {
+		p.runRange(0, p.rel.Rows(), make([]storage.Word, p.srcWidth), emit)
+		return
+	}
 	regs := make([]storage.Word, p.srcWidth)
-	n := p.rel.Rows()
 	var complexRow int
 	complexFn := func(a int) storage.Word { return p.rel.Value(complexRow, a) }
-
-	process := func(row int) {
+	p.indexRows = p.idx.Lookup(p.key, p.indexRows[:0])
+rows:
+	for _, r := range p.indexRows {
+		row := int(r)
 		for i := range p.baseTests {
 			t := &p.baseTests[i]
-			w := t.data[row*t.stride+t.off]
-			if !passTest(t, w) {
-				return
+			if !passTest(t, t.data[row*t.stride+t.off]) {
+				continue rows
 			}
 		}
 		if p.complex != nil {
 			complexRow = row
 			if !expr.EvalPred(p.complex, complexFn) {
-				return
+				continue rows
 			}
 		}
 		for i := range p.loads {
@@ -138,16 +158,34 @@ func (p *pipe) run(emit func([]storage.Word)) {
 		}
 		p.pushStages(0, regs, emit)
 	}
+}
 
-	if p.useIndex {
-		p.indexRows = p.idx.Lookup(p.key, p.indexRows[:0])
-		for _, row := range p.indexRows {
-			process(int(row))
+// runRange is the fused scan loop over the row range [lo, hi): compiled
+// tests by direct slice access, register loads, then the stages. It is the
+// unit the morsel scheduler drives — each worker runs it on its claimed
+// morsel with worker-private regs and a worker-private pipe clone.
+func (p *pipe) runRange(lo, hi int, regs []storage.Word, emit func([]storage.Word)) {
+	var complexRow int
+	complexFn := func(a int) storage.Word { return p.rel.Value(complexRow, a) }
+rows:
+	for row := lo; row < hi; row++ {
+		for i := range p.baseTests {
+			t := &p.baseTests[i]
+			if !passTest(t, t.data[row*t.stride+t.off]) {
+				continue rows
+			}
 		}
-		return
-	}
-	for row := 0; row < n; row++ {
-		process(row)
+		if p.complex != nil {
+			complexRow = row
+			if !expr.EvalPred(p.complex, complexFn) {
+				continue rows
+			}
+		}
+		for i := range p.loads {
+			l := &p.loads[i]
+			regs[l.reg] = l.data[row*l.stride+l.off]
+		}
+		p.pushStages(0, regs, emit)
 	}
 }
 
@@ -213,15 +251,16 @@ func (p *pipe) pushStages(si int, regs []storage.Word, emit func([]storage.Word)
 			if len(matches) == 0 {
 				return
 			}
+			w := st.addWidth
 			buf := st.buf
-			copy(buf[st.addWidth:], regs)
+			copy(buf[w:], regs)
 			if len(matches) == 1 {
-				copy(buf[:st.addWidth], matches[0])
+				copy(buf[:w], st.build[int(matches[0])*w:])
 				regs = buf
 				continue
 			}
 			for _, m := range matches {
-				copy(buf[:st.addWidth], m)
+				copy(buf[:w], st.build[int(m)*w:])
 				p.pushStages(si+1, buf, emit)
 			}
 			return

@@ -1,0 +1,125 @@
+// Package par is the morsel-driven parallel scan scheduler shared by the
+// execution engines (Leis et al., SIGMOD '14, adapted NUMA-agnostically):
+// a scan over n rows is split into fixed-size row-range morsels, and a
+// pool of workers claims morsels through a shared atomic cursor. The
+// cursor is the work-stealing mechanism — a worker that finishes its
+// morsel early simply claims the next one, so skew in per-morsel
+// selectivity or emit volume balances itself without per-worker queues.
+//
+// Determinism contract: morsels are numbered in row order, and every
+// engine that emits rows buffers each morsel's output separately and
+// concatenates the buffers in morsel order. Parallel execution therefore
+// produces row-for-row the same result as the serial loop, which the
+// differential tests assert for every engine and layout.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselRows is the scheduler's morsel granularity: large enough
+// that claiming a morsel (one atomic add) is negligible against scanning
+// it, small enough that work-stealing balances selective scans.
+const DefaultMorselRows = 64 * 1024
+
+// Options configures parallel execution. The zero value means "use every
+// core": engines treat Workers <= 0 as GOMAXPROCS. Workers == 1 selects
+// the serial path, which all engines retain unchanged.
+type Options struct {
+	Workers    int // worker goroutines; 0 = GOMAXPROCS, 1 = serial
+	MorselRows int // rows per morsel; 0 = DefaultMorselRows
+}
+
+// Serial returns the options of single-threaded execution.
+func Serial() Options { return Options{Workers: 1} }
+
+// WorkerCount resolves the worker knob against the machine.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallel reports whether the options select the parallel path.
+func (o Options) Parallel() bool { return o.WorkerCount() > 1 }
+
+func (o Options) morselRows() int {
+	if o.MorselRows > 0 {
+		return o.MorselRows
+	}
+	return DefaultMorselRows
+}
+
+// Morsels returns the number of morsels covering n rows — the slot count
+// for per-morsel output buffers merged in morsel order.
+func (o Options) Morsels(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	m := o.morselRows()
+	return (n + m - 1) / m
+}
+
+// Run partitions [0, n) into morsels and processes them with a worker
+// pool. body is called once per morsel with the claiming worker's id
+// (0 <= worker < WorkerCount), the morsel's index in row order, and the
+// morsel's row range [lo, hi). When a single worker (or a single morsel)
+// makes goroutines pointless, body runs on the calling goroutine. A panic
+// in body is re-raised on the caller.
+func Run(n int, opt Options, body func(worker, morsel, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	m := opt.morselRows()
+	morsels := opt.Morsels(n)
+	workers := opt.WorkerCount()
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for i := 0; i < morsels; i++ {
+			lo := i * m
+			hi := lo + m
+			if hi > n {
+				hi = n
+			}
+			body(0, i, lo, hi)
+		}
+		return
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= morsels {
+					return
+				}
+				lo := i * m
+				hi := lo + m
+				if hi > n {
+					hi = n
+				}
+				body(worker, i, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -12,11 +12,54 @@ import (
 	"repro/internal/storage"
 )
 
+// arenaChunkWords sizes the arena's allocation unit: 32K words (256 KB)
+// amortizes one heap allocation over thousands of rows while staying small
+// enough that a mostly-empty final chunk wastes little.
+const arenaChunkWords = 32 * 1024
+
+// Arena carves row storage out of contiguous word chunks, replacing the
+// one-heap-slice-per-row pattern on the engines' emit paths. Rows are
+// sub-slices of a chunk; a chunk is never reallocated once rows point into
+// it (a fresh chunk is started instead), so views stay valid for the life
+// of the result. The zero value is ready to use. An Arena is not
+// goroutine-safe: parallel engines keep one per worker.
+type Arena struct {
+	cur []storage.Word // current chunk, carved by reslicing up to cap
+}
+
+// NewRow returns a zeroed width-long slice backed by the arena.
+func (a *Arena) NewRow(width int) []storage.Word {
+	if cap(a.cur)-len(a.cur) < width {
+		size := arenaChunkWords
+		if width > size {
+			size = width
+		}
+		a.cur = make([]storage.Word, 0, size)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+width]
+	// Chunk memory comes from make and every word is carved exactly once,
+	// so the returned row is zeroed without an explicit clear. The view's
+	// capacity is capped so appending to a row cannot clobber its
+	// neighbour.
+	return a.cur[off : off+width : off+width]
+}
+
+// Copy clones src into the arena.
+func (a *Arena) Copy(src []storage.Word) []storage.Word {
+	row := a.NewRow(len(src))
+	copy(row, src)
+	return row
+}
+
 // Set is a materialized query result: column metadata plus word-encoded
-// rows.
+// rows. Rows appended through NewRow/AppendCopy share the set's arena;
+// Rows remains a plain [][]Word of views, so consumers (differential
+// tests, hash-join builds) are unaffected by where the words live.
 type Set struct {
-	Cols []plan.Column
-	Rows [][]storage.Word
+	Cols  []plan.Column
+	Rows  [][]storage.Word
+	arena Arena
 }
 
 // New creates a result set with the given columns.
@@ -27,6 +70,20 @@ func New(cols []plan.Column) *Set {
 // Append adds one row (taking ownership of the slice).
 func (s *Set) Append(row []storage.Word) {
 	s.Rows = append(s.Rows, row)
+}
+
+// NewRow appends one arena-backed row of the set's arity and returns it
+// for the caller to fill — the allocation-free emit path.
+func (s *Set) NewRow() []storage.Word {
+	row := s.arena.NewRow(len(s.Cols))
+	s.Rows = append(s.Rows, row)
+	return row
+}
+
+// AppendCopy copies row into the set's arena (the caller keeps ownership
+// of its buffer, unlike Append).
+func (s *Set) AppendCopy(row []storage.Word) {
+	s.Rows = append(s.Rows, s.arena.Copy(row))
 }
 
 // Len returns the number of rows.

@@ -51,6 +51,75 @@ func TestSortedIsCanonical(t *testing.T) {
 	}
 }
 
+// TestArenaRowsSurviveChunkGrowth: rows handed out before a chunk fills
+// must stay intact after the arena moves to fresh chunks — the invariant
+// that lets Set.Rows keep plain slice views.
+func TestArenaRowsSurviveChunkGrowth(t *testing.T) {
+	var a Arena
+	const rows, width = 100_000, 3 // ~9x the chunk size in words
+	out := make([][]storage.Word, rows)
+	for i := 0; i < rows; i++ {
+		r := a.NewRow(width)
+		if len(r) != width {
+			t.Fatalf("row %d has width %d", i, len(r))
+		}
+		for j := range r {
+			if r[j] != 0 {
+				t.Fatalf("row %d not zeroed", i)
+			}
+			r[j] = w(int64(i*width + j))
+		}
+		out[i] = r
+	}
+	for i, r := range out {
+		for j := range r {
+			if r[j] != w(int64(i*width+j)) {
+				t.Fatalf("row %d word %d clobbered", i, j)
+			}
+		}
+	}
+}
+
+// TestArenaOversizedRow: a row wider than the chunk gets its own chunk.
+func TestArenaOversizedRow(t *testing.T) {
+	var a Arena
+	big := a.NewRow(arenaChunkWords + 17)
+	if len(big) != arenaChunkWords+17 {
+		t.Fatalf("oversized row length %d", len(big))
+	}
+	small := a.NewRow(2)
+	small[0] = w(1)
+	if big[len(big)-1] != 0 {
+		t.Error("oversized row clobbered by later allocation")
+	}
+}
+
+// TestArenaRowAppendIsolated: appending to a returned row must not write
+// into the next row (capacity is capped per row).
+func TestArenaRowAppendIsolated(t *testing.T) {
+	var a Arena
+	r1 := a.NewRow(2)
+	r2 := a.NewRow(2)
+	r2[0], r2[1] = w(5), w(6)
+	_ = append(r1, w(99)) //nolint:staticcheck // the append must copy, not clobber r2
+	if r2[0] != w(5) || r2[1] != w(6) {
+		t.Error("append to a row view clobbered its neighbour")
+	}
+}
+
+func TestSetNewRowAndAppendCopy(t *testing.T) {
+	s := New([]plan.Column{{Name: "a", Type: storage.Int64}, {Name: "b", Type: storage.Int64}})
+	r := s.NewRow()
+	r[0], r[1] = w(1), w(2)
+	buf := []storage.Word{w(3), w(4)}
+	s.AppendCopy(buf)
+	buf[0] = w(99) // caller keeps ownership; the set must hold the copy
+	want := mkSet([]storage.Word{w(1), w(2)}, []storage.Word{w(3), w(4)})
+	if !Equal(s, want) {
+		t.Fatalf("arena-built set differs:\n%s", s.Format(nil, 10))
+	}
+}
+
 func TestFormat(t *testing.T) {
 	s := New([]plan.Column{
 		{Name: "n", Type: storage.Int64},

@@ -15,6 +15,7 @@ package vector
 
 import (
 	"repro/internal/exec"
+	"repro/internal/exec/par"
 	"repro/internal/exec/result"
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -25,11 +26,19 @@ import (
 // fit in L1/L2, large enough to amortize per-batch dispatch.
 const BatchSize = 1024
 
-// Engine is the vectorized engine.
-type Engine struct{}
+// Engine is the vectorized engine. The zero value scans on every core;
+// use New for the serial engine or NewParallel to pick a worker count.
+type Engine struct {
+	opt par.Options
+}
 
-// New returns the engine.
-func New() Engine { return Engine{} }
+// New returns the serial engine (workers = 1).
+func New() Engine { return Engine{opt: par.Serial()} }
+
+// NewParallel returns an engine whose base-table scans run under the
+// morsel scheduler (Workers == 0 means GOMAXPROCS). Operators above the
+// scan stay batch-serial; results are identical to the serial engine's.
+func NewParallel(opt par.Options) Engine { return Engine{opt: opt} }
 
 // Name returns "vector".
 func (Engine) Name() string { return "vector" }
@@ -46,30 +55,30 @@ type biter interface {
 	next() (batch, bool)
 }
 
-// Run executes the plan batch-at-a-time.
-func (Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
+// Run executes the plan batch-at-a-time. Result rows are materialized
+// through the set's arena — one allocation per arena chunk, not per row.
+func (e Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
 	if ins, ok := n.(plan.Insert); ok {
 		return exec.RunInsert(ins, c)
 	}
 	out := result.New(plan.Output(n, c))
-	it := build(n, c)
+	it := build(n, c, e.opt)
 	for {
 		b, ok := it.next()
 		if !ok {
 			break
 		}
 		for r := 0; r < b.n; r++ {
-			row := make([]storage.Word, len(b.cols))
+			row := out.NewRow()
 			for i, col := range b.cols {
 				row[i] = col[r]
 			}
-			out.Append(row)
 		}
 	}
 	return out
 }
 
-func build(n plan.Node, c *plan.Catalog) biter {
+func build(n plan.Node, c *plan.Catalog, opt par.Options) biter {
 	switch v := n.(type) {
 	case plan.Scan:
 		if acc, ok := exec.PlanIndexAccess(c, v.Table, v.Filter); ok {
@@ -77,40 +86,45 @@ func build(n plan.Node, c *plan.Catalog) biter {
 			rows := c.Index(v.Table, acc.Attr).Lookup(acc.Key, nil)
 			return &indexScan{rel: rel, rows: rows, rest: acc.Rest, cols: v.Cols}
 		}
+		if opt.Parallel() {
+			return newParScan(c.Table(v.Table), v.Filter, v.Cols, opt)
+		}
 		return newScan(c.Table(v.Table), v.Filter, v.Cols)
 	case plan.Select:
-		return &selectIt{child: build(v.Child, c), pred: v.Pred, out: batch{}}
+		return &selectIt{child: build(v.Child, c, opt), pred: v.Pred, out: batch{}}
 	case plan.Project:
-		return &projectIt{child: build(v.Child, c), exprs: v.Exprs}
+		return &projectIt{child: build(v.Child, c, opt), exprs: v.Exprs}
 	case plan.HashJoin:
-		return newJoin(v, c)
+		return newJoin(v, c, opt)
 	case plan.Aggregate:
-		return newAgg(v, c)
+		return newAgg(v, c, opt)
 	case plan.Sort:
 		return newMaterialized(n, c, func(rows [][]storage.Word) [][]storage.Word {
 			exec.SortRows(rows, v.Keys)
 			return rows
-		}, v.Child)
+		}, v.Child, opt)
 	case plan.Limit:
-		return &limitIt{child: build(v.Child, c), n: v.N}
+		return &limitIt{child: build(v.Child, c, opt), n: v.N}
 	}
 	panic("vector: unsupported plan node")
 }
 
 // scanIt produces batches from a base table, applying the filter with one
 // primitive loop per conjunct per batch (selection vectors stay in
-// cache).
+// cache). The filter is pre-split into conjuncts; an empty conjunct list
+// (nil or trivially-true filter) passes every row, matching the other
+// engines and the parallel scan.
 type scanIt struct {
-	rel    *storage.Relation
-	filter expr.Pred
-	cols   []int
-	pos    int
-	sel    []int32
-	out    batch
+	rel   *storage.Relation
+	conjs []expr.Pred
+	cols  []int
+	pos   int
+	sel   []int32
+	out   batch
 }
 
 func newScan(rel *storage.Relation, filter expr.Pred, cols []int) *scanIt {
-	s := &scanIt{rel: rel, filter: filter, cols: cols}
+	s := &scanIt{rel: rel, conjs: conjuncts(filter), cols: cols}
 	s.sel = make([]int32, 0, BatchSize)
 	s.out.cols = make([][]storage.Word, len(cols))
 	for i := range s.out.cols {
@@ -130,13 +144,13 @@ func (s *scanIt) next() (batch, bool) {
 
 		// Selection vector over [lo,hi): one tight loop per conjunct.
 		s.sel = s.sel[:0]
-		if s.filter == nil {
+		if len(s.conjs) == 0 {
 			for r := lo; r < hi; r++ {
 				s.sel = append(s.sel, int32(r))
 			}
 		} else {
 			first := true
-			for _, conj := range conjuncts(s.filter) {
+			for _, conj := range s.conjs {
 				s.sel = applyConj(s.rel, conj, s.sel, first, lo, hi)
 				first = false
 			}
@@ -313,35 +327,42 @@ func (p *projectIt) next() (batch, bool) {
 	return p.out, true
 }
 
-// joinIt builds the left side eagerly and probes right batches.
+// joinIt builds the left side eagerly — into one flat row-major buffer
+// keyed by row indices, mirroring the jit engine's probe table — and
+// probes right batches.
 type joinIt struct {
 	right      biter
-	table      map[storage.Word][][]storage.Word
+	build      []storage.Word // flat build rows, stride leftWidth
+	table      map[storage.Word][]int32
 	rkey       int
 	leftWidth  int
 	rightWidth int
 	out        batch
 }
 
-func newJoin(v plan.HashJoin, c *plan.Catalog) *joinIt {
-	leftIt := build(v.Left, c)
-	table := map[storage.Word][][]storage.Word{}
+func newJoin(v plan.HashJoin, c *plan.Catalog, opt par.Options) *joinIt {
+	leftIt := build(v.Left, c, opt)
+	table := map[storage.Word][]int32{}
 	leftWidth := len(plan.Output(v.Left, c))
+	var flat []storage.Word
+	rows := 0
 	for {
 		b, ok := leftIt.next()
 		if !ok {
 			break
 		}
 		for r := 0; r < b.n; r++ {
-			row := make([]storage.Word, leftWidth)
-			for i := range b.cols {
-				row[i] = b.cols[i][r]
+			for i := 0; i < leftWidth; i++ {
+				flat = append(flat, b.cols[i][r])
 			}
-			table[row[v.LeftKey]] = append(table[row[v.LeftKey]], row)
+			k := b.cols[v.LeftKey][r]
+			table[k] = append(table[k], int32(rows))
+			rows++
 		}
 	}
 	return &joinIt{
-		right:      build(v.Right, c),
+		right:      build(v.Right, c, opt),
+		build:      flat,
 		table:      table,
 		rkey:       v.RightKey,
 		leftWidth:  leftWidth,
@@ -364,7 +385,8 @@ func (j *joinIt) next() (batch, bool) {
 		n := 0
 		for r := 0; r < in.n; r++ {
 			matches := j.table[in.cols[j.rkey][r]]
-			for _, l := range matches {
+			for _, m := range matches {
+				l := j.build[int(m)*j.leftWidth:]
 				for i := 0; i < j.leftWidth; i++ {
 					j.out.cols[i] = append(j.out.cols[i], l[i])
 				}
@@ -387,8 +409,8 @@ type aggIt struct {
 	pos  int
 }
 
-func newAgg(v plan.Aggregate, c *plan.Catalog) *aggIt {
-	child := build(v.Child, c)
+func newAgg(v plan.Aggregate, c *plan.Catalog, opt par.Options) *aggIt {
+	child := build(v.Child, c, opt)
 	type group struct {
 		key    []storage.Word
 		states []expr.AggState
@@ -470,16 +492,17 @@ type materializedIt struct {
 	pos  int
 }
 
-func newMaterialized(n plan.Node, c *plan.Catalog, transform func([][]storage.Word) [][]storage.Word, child plan.Node) *materializedIt {
-	it := build(child, c)
+func newMaterialized(n plan.Node, c *plan.Catalog, transform func([][]storage.Word) [][]storage.Word, child plan.Node, opt par.Options) *materializedIt {
+	it := build(child, c, opt)
 	var rows [][]storage.Word
+	var arena result.Arena
 	for {
 		b, ok := it.next()
 		if !ok {
 			break
 		}
 		for r := 0; r < b.n; r++ {
-			row := make([]storage.Word, len(b.cols))
+			row := arena.NewRow(len(b.cols))
 			for i := range b.cols {
 				row[i] = b.cols[i][r]
 			}

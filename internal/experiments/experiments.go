@@ -12,12 +12,52 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/exec"
+	"repro/internal/exec/jit"
+	"repro/internal/exec/par"
 )
 
 // Options sizes the experiments. Quick shrinks the data sets for CI;
-// Full approaches the paper's cardinalities.
+// Full approaches the paper's cardinalities. Workers selects the morsel
+// scheduler's worker count for the parallel-capable engines: 0 or 1
+// reproduce the paper's single-core configuration, > 1 runs scans
+// morsel-parallel, < 0 means GOMAXPROCS.
 type Options struct {
-	Quick bool
+	Quick   bool
+	Workers int
+}
+
+// parOptions translates the experiment-level workers knob into scheduler
+// options.
+func (o Options) parOptions() par.Options {
+	switch {
+	case o.Workers < 0:
+		return par.Options{} // GOMAXPROCS
+	case o.Workers == 0:
+		return par.Serial()
+	default:
+		return par.Options{Workers: o.Workers}
+	}
+}
+
+// jitEngine returns the JiT engine configured by the workers knob; every
+// figure driver that measures the JiT processor goes through it.
+func jitEngine(opt Options) exec.Engine {
+	p := opt.parOptions()
+	if !p.Parallel() {
+		return jit.New()
+	}
+	return jit.NewParallel(p)
+}
+
+// workersNote renders the knob for report footnotes, or "" when serial.
+func workersNote(opt Options) string {
+	p := opt.parOptions()
+	if !p.Parallel() {
+		return ""
+	}
+	return fmt.Sprintf("jit engine ran morsel-parallel with %d workers", p.WorkerCount())
 }
 
 // Report is a regenerated table or figure.

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/exec/bulk"
-	"repro/internal/exec/jit"
 	"repro/internal/exec/volcano"
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -83,9 +82,14 @@ func (s *Fig3Setup) Query(selectivity float64) plan.Node {
 }
 
 // Fig3Engines are the processing models compared (the paper's Volcano,
-// bulk and JiT implementations of the same query).
-func Fig3Engines() []exec.Engine {
-	return []exec.Engine{volcano.New(), bulk.New(), jit.New()}
+// bulk and JiT implementations of the same query), in the paper's serial
+// configuration.
+func Fig3Engines() []exec.Engine { return Fig3EnginesOpt(Options{}) }
+
+// Fig3EnginesOpt is Fig3Engines with the workers knob applied to the JiT
+// engine — the single source of the figure's engine list.
+func Fig3EnginesOpt(opt Options) []exec.Engine {
+	return []exec.Engine{volcano.New(), bulk.New(), jitEngine(opt)}
 }
 
 // Fig3 regenerates Figure 3: evaluation time of the example query under
@@ -113,7 +117,10 @@ func Fig3(opt Options) *Report {
 			"bulk degrades with selectivity (materialization); JiT+PDSM best across the sweep",
 		},
 	}
-	for _, e := range Fig3Engines() {
+	if n := workersNote(opt); n != "" {
+		rep.Notes = append(rep.Notes, n)
+	}
+	for _, e := range Fig3EnginesOpt(opt) {
 		for _, ln := range layoutOrder {
 			cat := setup.Catalogs[ln]
 			row := []string{e.Name() + "/" + ln}

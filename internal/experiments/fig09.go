@@ -7,7 +7,6 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/exec/hyrise"
-	"repro/internal/exec/jit"
 	"repro/internal/layout"
 	"repro/internal/mem"
 	"repro/internal/plan"
@@ -49,9 +48,13 @@ func NewFig9Setup(customers int) *Fig9Setup {
 
 // Fig9Processors returns the two processing models of Figure 9: HyPer
 // (JiT compilation) and the HYRISE-style bulk processor with per-value
-// function calls.
-func Fig9Processors() []exec.Engine {
-	return []exec.Engine{jit.New(), hyrise.New()}
+// function calls, in the paper's serial configuration.
+func Fig9Processors() []exec.Engine { return Fig9ProcessorsOpt(Options{}) }
+
+// Fig9ProcessorsOpt is Fig9Processors with the workers knob applied to
+// the JiT engine — the single source of the figure's processor list.
+func Fig9ProcessorsOpt(opt Options) []exec.Engine {
+	return []exec.Engine{jitEngine(opt), hyrise.New()}
 }
 
 // Fig9 regenerates Figure 9: SAP-SD queries Q1-Q12 under {HyPer-style
@@ -65,6 +68,7 @@ func Fig9(opt Options) *Report {
 	}
 	setup := NewFig9Setup(customers)
 	layouts := []string{"row", "column", "hybrid"}
+	procs := Fig9ProcessorsOpt(opt)
 	procName := map[string]string{"jit": "HyPer", "hyrise": "HYRISE"}
 
 	rep := &Report{
@@ -76,7 +80,10 @@ func Fig9(opt Options) *Report {
 			"queries; relative layout ranking is similar across processors; the insert Q6 is cheap under JiT",
 		},
 	}
-	for _, e := range Fig9Processors() {
+	if n := workersNote(opt); n != "" {
+		rep.Notes = append(rep.Notes, n)
+	}
+	for _, e := range procs {
 		for _, l := range layouts {
 			rep.Header = append(rep.Header, procName[e.Name()]+" "+l)
 		}
@@ -84,7 +91,7 @@ func Fig9(opt Options) *Report {
 	insertSeq := 0
 	for qi := 0; qi < 12; qi++ {
 		row := []string{fmt.Sprintf("Q%d", qi+1)}
-		for _, e := range Fig9Processors() {
+		for _, e := range procs {
 			for _, l := range layouts {
 				cat := setup.Catalogs[l]
 				var p plan.Node

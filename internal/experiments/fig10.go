@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/bench/sapsd"
-	"repro/internal/exec/jit"
 	"repro/internal/plan"
 )
 
@@ -39,7 +38,7 @@ func Fig10(opt Options) *Report {
 		sapsd.RegisterIndexes(cat)
 	}
 
-	engine := jit.New()
+	engine := jitEngine(opt)
 	layouts := []string{"row", "column", "hybrid"}
 	rep := &Report{
 		ID:     "fig10",

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bench/chbench"
 	"repro/internal/costmodel"
-	"repro/internal/exec/jit"
 	"repro/internal/layout"
 	"repro/internal/mem"
 	"repro/internal/plan"
@@ -73,7 +72,7 @@ func Fig11(opt Options) *Report {
 		repeats = 1
 	}
 	setup := NewFig11Setup(cfg, txns)
-	engine := jit.New()
+	engine := jitEngine(opt)
 	layouts := []string{"row", "column", "hybrid"}
 
 	rep := &Report{

@@ -218,6 +218,43 @@ func (st *AggState) AddValue(w storage.Word) {
 	st.seen = true
 }
 
+// Merge folds another state for the same spec into st, as if o's tuples
+// had been added after st's. Counts, integer sums and min/max merge
+// exactly; float sums reassociate the addition order, so engines that
+// need bit-reproducible float results must not merge-parallelize float
+// aggregates (see MergeExact).
+func (st *AggState) Merge(o *AggState) {
+	st.count += o.count
+	st.sumI += o.sumI
+	st.sumF += o.sumF
+	if o.seen {
+		if !st.seen || o.minW < st.minW {
+			st.minW = o.minW
+		}
+		if !st.seen || o.maxW > st.maxW {
+			st.maxW = o.maxW
+		}
+		st.seen = true
+	}
+}
+
+// MergeExact reports whether partial states of every listed aggregate
+// merge to bit-identical results regardless of how tuples are partitioned:
+// true for count, min, max and integer sum/avg; false once a float sum is
+// involved (float addition is not associative).
+func MergeExact(aggs []AggSpec) bool {
+	for _, a := range aggs {
+		switch a.Kind {
+		case Count, Min, Max:
+		case Sum, Avg:
+			if a.Arg.Type() == storage.Float64 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Result returns the encoded aggregate value.
 func (st *AggState) Result() storage.Word {
 	switch st.spec.Kind {
