@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,37 +23,52 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected for testing: argv without the
+// program name, and the two output streams. It returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "", "experiment id to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "shrink data sets for a fast pass")
-		list    = flag.Bool("list", false, "list experiment ids")
-		workers = flag.Int("workers", 0, "morsel-scheduler workers for the JiT engine (0 or 1 = serial, as the paper measures; -1 = all cores)")
+		exp     = fs.String("exp", "", "experiment id to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "shrink data sets for a fast pass")
+		list    = fs.Bool("list", false, "list experiment ids")
+		workers = fs.Int("workers", 0, "morsel-scheduler workers for the JiT engine (0 or 1 = serial, as the paper measures; -1 = all cores)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
-		return
+		fmt.Fprintln(stdout, "experiments:", strings.Join(experiments.IDs(), " "))
+		return 0
 	}
 	opt := experiments.Options{Quick: *quick, Workers: *workers}
 	switch {
 	case *all:
 		for _, rep := range experiments.All(opt) {
-			fmt.Println(rep.String())
+			fmt.Fprintln(stdout, rep.String())
 		}
 	case *exp != "":
 		driver := experiments.ByID(*exp)
 		if driver == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown experiment %q; available experiments:\n  %s\n",
+				*exp, strings.Join(experiments.IDs(), "\n  "))
+			return 1
 		}
 		start := time.Now()
 		rep := driver(opt)
-		fmt.Println(rep.String())
-		fmt.Printf("(%s regenerated in %v)\n", *exp, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, rep.String())
+		fmt.Fprintf(stdout, "(%s regenerated in %v)\n", *exp, time.Since(start).Round(time.Millisecond))
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentListsAndFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-exp", "fig99"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown -exp exited 0")
+	}
+	out := stderr.String()
+	if !strings.Contains(out, `unknown experiment "fig99"`) {
+		t.Fatalf("stderr does not name the bad experiment: %q", out)
+	}
+	// The full list must be offered, not just a hint to rerun with -list.
+	for _, id := range []string{"fig3", "table4", "ablation-sparse"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("stderr does not list experiment %q: %q", id, out)
+		}
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fig3") {
+		t.Fatalf("-list output missing fig3: %q", stdout.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-exp") {
+		t.Fatalf("usage not printed on -h: %q", stderr.String())
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-exp") {
+		t.Fatalf("usage not printed: %q", stderr.String())
+	}
+}
+
+func TestQuickExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment still builds a 100k-row relation")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-exp", "table3", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("table3 -quick exited %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "table3") {
+		t.Fatalf("report missing from stdout: %q", stdout.String())
+	}
+}

@@ -1,0 +1,61 @@
+// Command served is the network front-end of the reproduction: it loads a
+// database, wraps it in the concurrent service layer (shared worker pool,
+// prepared-plan cache, admission control) and serves JSON-over-HTTP.
+//
+//	served -addr :8080 -rows 1000000 -workers 0
+//
+// Endpoints:
+//
+//	POST /query    {"plan": <plan JSON>}   run a plan
+//	POST /prepare  {"plan": <plan JSON>}   register a statement, get an id
+//	POST /exec     {"id": "s1"}            run a prepared statement
+//	POST /optimize {}                      run the layout optimizer (DDL path)
+//	GET  /tables                           list served tables
+//	GET  /stats                            service counters
+//
+// The demo dataset is the paper's example relation R(A..P) with A uniform
+// over [0, 1e6), so the Figure 2 query
+//
+//	curl -s localhost:8080/query -d '{"plan": {"op": "aggregate",
+//	  "child": {"op": "scan", "table": "R",
+//	            "filter": {"pred": "cmp", "attr": 0, "op": "<", "val": {"int": 10000}},
+//	            "cols": [1, 2, 3, 4]},
+//	  "aggs": [{"agg": "sum", "arg": {"expr": "col", "attr": 0, "type": "int64"}, "name": "sum_b"}]}}'
+//
+// selects at selectivity 0.01.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		rows        = flag.Int("rows", 1_000_000, "rows of the demo relation R")
+		workers     = flag.Int("workers", 0, "shared worker pool size (0 = all cores, 1 = serial execution)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2x workers)")
+		queueWait   = flag.Duration("queue-timeout", time.Second, "max wait for an execution slot before 429")
+	)
+	flag.Parse()
+
+	log.Printf("loading demo relation R (%d rows, 16 int64 attributes)", *rows)
+	db := service.NewDemoDB(*rows)
+	service.DemoWorkload(db) // declared mix, so POST /optimize has something to optimize
+	s := service.New(db, service.Config{
+		Workers:      *workers,
+		MaxInFlight:  *maxInFlight,
+		QueueTimeout: *queueWait,
+	})
+	defer s.Close()
+
+	st := s.Stats()
+	fmt.Printf("served: listening on %s (workers=%d, max in-flight=%d)\n", *addr, st.Workers, st.MaxInFlight)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

@@ -1,0 +1,100 @@
+// served_client demonstrates the serving surface end to end without any
+// external setup: it starts the query service on a loopback listener (the
+// same handler cmd/served exposes), then acts as an HTTP client — listing
+// tables, running an ad-hoc query, and walking the prepared-statement flow
+// (/prepare once, /exec repeatedly), which is how a real application
+// should issue its hot queries.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+const queryJSON = `{"plan": {
+	"op": "aggregate",
+	"child": {
+		"op": "scan", "table": "R",
+		"filter": {"pred": "cmp", "attr": 0, "op": "<", "val": {"int": 100000}},
+		"cols": [1, 2, 3, 4]
+	},
+	"aggs": [
+		{"agg": "sum", "arg": {"expr": "col", "attr": 0, "type": "int64"}, "name": "sum_b"},
+		{"agg": "sum", "arg": {"expr": "col", "attr": 1, "type": "int64"}, "name": "sum_c"},
+		{"agg": "sum", "arg": {"expr": "col", "attr": 2, "type": "int64"}, "name": "sum_d"},
+		{"agg": "sum", "arg": {"expr": "col", "attr": 3, "type": "int64"}, "name": "sum_e"}
+	]
+}}`
+
+func main() {
+	// Server side: demo database behind the concurrent service layer.
+	s := service.New(service.NewDemoDB(200_000), service.Config{Workers: 0})
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, s.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service listening on", base)
+
+	// Client side: plain HTTP/JSON from here on.
+	fmt.Println("\n-- GET /tables")
+	show(getJSON(base + "/tables"))
+
+	fmt.Println("\n-- POST /query (ad-hoc, selectivity 0.1)")
+	show(postJSON(base+"/query", queryJSON))
+
+	fmt.Println("\n-- POST /prepare")
+	prep := postJSON(base+"/prepare", queryJSON)
+	show(prep)
+	id := prep["id"].(string)
+
+	fmt.Printf("\n-- POST /exec ×3 (statement %s; compiled once, cache-hit after)\n", id)
+	for i := 0; i < 3; i++ {
+		res := postJSON(base+"/exec", fmt.Sprintf(`{"id": %q}`, id))
+		fmt.Printf("  run %d: rows=%v in %vµs\n", i+1, res["rowCount"], res["micros"])
+	}
+
+	fmt.Println("\n-- GET /stats")
+	show(getJSON(base + "/stats"))
+}
+
+func postJSON(url, body string) map[string]any {
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func getJSON(url string) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func decode(resp *http.Response) map[string]any {
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("HTTP %d: %v", resp.StatusCode, out)
+	}
+	return out
+}
+
+func show(v map[string]any) {
+	data, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(data))
+}

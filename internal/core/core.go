@@ -76,6 +76,19 @@ func (db *DB) SetWorkers(n int) *DB {
 	return db
 }
 
+// SetParOptions installs the compiled engine with explicit morsel-
+// scheduler options — the way to share one process-wide par.Pool across
+// databases or with the service layer. Options that resolve to a single
+// worker select the serial engine, exactly like SetWorkers.
+func (db *DB) SetParOptions(opt par.Options) *DB {
+	if !opt.Parallel() {
+		db.engine = jit.New()
+	} else {
+		db.engine = jit.NewParallel(opt)
+	}
+	return db
+}
+
 // Catalog exposes the underlying catalog (advanced use).
 func (db *DB) Catalog() *plan.Catalog { return db.catalog }
 

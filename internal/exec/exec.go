@@ -92,7 +92,9 @@ func SortRows(rows [][]storage.Word, keys []plan.SortKey) {
 }
 
 // MaxGroupCols bounds the group-by arity of the fixed-size group key.
-const MaxGroupCols = 4
+// It aliases plan.MaxGroupCols, which plan.Check enforces, so validated
+// plans can never overrun the key array.
+const MaxGroupCols = plan.MaxGroupCols
 
 // GroupKey is a fixed-size composite key for hash aggregation.
 type GroupKey [MaxGroupCols]storage.Word

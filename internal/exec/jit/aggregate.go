@@ -335,7 +335,9 @@ func genericAggregate(p *pipe, v plan.Aggregate, opt par.Options) [][]storage.Wo
 		return total.rows()
 	}
 
+	// Clone for the same reason as the serial row path: stage buffers and
+	// the index-lookup scratch are per-execution state under concurrency.
 	sink := newGroupSink(v, specs, args)
-	p.run(sink.fold)
+	p.cloneForWorker().run(sink.fold)
 	return sink.rows()
 }

@@ -13,12 +13,14 @@ func (p *pipe) parallelizable(opt par.Options) bool {
 	return opt.Parallel() && !p.useIndex
 }
 
-// cloneForWorker gives one worker its own executable view of the pipe.
-// Stage output buffers are the only state the fused loop mutates besides
-// the register file, so the clone shares the compiled tests, loads and
-// probe tables with the original and replaces just the buffers.
+// cloneForWorker gives one worker — or one concurrent execution — its own
+// executable view of the pipe. Stage output buffers and the index-lookup
+// scratch are the only state the fused loop mutates besides the register
+// file, so the clone shares the compiled tests, loads and probe tables
+// with the original and replaces just those.
 func (p *pipe) cloneForWorker() *pipe {
 	q := *p
+	q.indexRows = nil
 	q.stages = append([]stage(nil), p.stages...)
 	for i := range q.stages {
 		if q.stages[i].buf != nil {

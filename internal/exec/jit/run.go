@@ -43,6 +43,12 @@ func (e Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
 // lookups are re-evaluated per execution). Like any prepared statement
 // over materialized build sides, a Prepared must be re-prepared after the
 // underlying tables change.
+//
+// Exec is safe for concurrent use by multiple goroutines (except for
+// Insert plans, which mutate the table): the compiled form is read-only
+// and every execution works on private register files, stage buffers and
+// sinks. The service layer relies on this to run one cached Prepared for
+// many simultaneous requests.
 type Prepared struct {
 	cols []plan.Column
 	exec func() [][]storage.Word
@@ -106,8 +112,10 @@ func prepareNode(n plan.Node, c *plan.Catalog, opt par.Options) func() [][]stora
 			if p.parallelizable(opt) {
 				return p.runParallelRows(opt)
 			}
+			// Serial execution mutates stage buffers and the index-lookup
+			// scratch, so concurrent Execs each run a private clone.
 			r := &runner{}
-			p.run(r.emitRow)
+			p.cloneForWorker().run(r.emitRow)
 			return r.rows
 		}
 	}

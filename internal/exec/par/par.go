@@ -27,16 +27,28 @@ const DefaultMorselRows = 64 * 1024
 // Options configures parallel execution. The zero value means "use every
 // core": engines treat Workers <= 0 as GOMAXPROCS. Workers == 1 selects
 // the serial path, which all engines retain unchanged.
+//
+// When Pool is set, Run dispatches morsels to that shared pool instead of
+// spawning per-call goroutines, and the pool's size overrides Workers —
+// worker ids seen by bodies are pool-wide, so per-worker state sized by
+// WorkerCount stays correct.
 type Options struct {
-	Workers    int // worker goroutines; 0 = GOMAXPROCS, 1 = serial
-	MorselRows int // rows per morsel; 0 = DefaultMorselRows
+	Workers    int   // worker goroutines; 0 = GOMAXPROCS, 1 = serial
+	MorselRows int   // rows per morsel; 0 = DefaultMorselRows
+	Pool       *Pool // shared worker pool; nil = per-call goroutines
 }
 
 // Serial returns the options of single-threaded execution.
 func Serial() Options { return Options{Workers: 1} }
 
+// WithPool returns options that execute on a shared pool.
+func WithPool(p *Pool) Options { return Options{Pool: p} }
+
 // WorkerCount resolves the worker knob against the machine.
 func (o Options) WorkerCount() int {
+	if o.Pool != nil {
+		return o.Pool.Workers()
+	}
 	if o.Workers > 0 {
 		return o.Workers
 	}
@@ -80,14 +92,11 @@ func Run(n int, opt Options, body func(worker, morsel, lo, hi int)) {
 		workers = morsels
 	}
 	if workers <= 1 {
-		for i := 0; i < morsels; i++ {
-			lo := i * m
-			hi := lo + m
-			if hi > n {
-				hi = n
-			}
-			body(0, i, lo, hi)
-		}
+		runSerial(n, m, morsels, body)
+		return
+	}
+	if opt.Pool != nil {
+		opt.Pool.submit(n, m, morsels, body)
 		return
 	}
 
@@ -121,5 +130,18 @@ func Run(n int, opt Options, body func(worker, morsel, lo, hi int)) {
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
+	}
+}
+
+// runSerial is the inline fallback shared by the single-worker path and a
+// closed pool: every morsel runs on the calling goroutine as worker 0.
+func runSerial(n, morselRows, morsels int, body func(worker, morsel, lo, hi int)) {
+	for i := 0; i < morsels; i++ {
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		body(0, i, lo, hi)
 	}
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/exec/jit"
+	"repro/internal/exec/par"
+	"repro/internal/exec/result"
+	"repro/internal/exec/vector"
+)
+
+// TestSharedPoolMatchesSerial runs the Figure 3 sweep for both parallel-
+// capable engines on ONE shared worker pool, with every (engine, layout,
+// selectivity) query issued concurrently — the serving configuration.
+// Morsels from different queries interleave on the same workers; results
+// must stay row-for-row identical to the serial engines.
+func TestSharedPoolMatchesSerial(t *testing.T) {
+	setup := NewFig3Setup(30_000)
+	pool := par.NewPool(4)
+	defer pool.Close()
+	// Small morsels force many morsels per query so concurrent jobs
+	// actually interleave instead of running one-morsel-inline.
+	opt := par.Options{Pool: pool, MorselRows: 2048}
+
+	pairs := []struct {
+		serial   exec.Engine
+		parallel exec.Engine
+	}{
+		{serial: jit.New(), parallel: jit.NewParallel(opt)},
+		{serial: vector.New(), parallel: vector.NewParallel(opt)},
+	}
+
+	var wg sync.WaitGroup
+	for _, pair := range pairs {
+		for layout := range setup.Catalogs {
+			for _, sel := range Fig3Selectivities {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					q := setup.Query(sel)
+					cat := setup.Catalogs[layout]
+					want := pair.serial.Run(q, cat)
+					got := pair.parallel.Run(q, cat)
+					if !result.Equal(want, got) {
+						t.Errorf("%s/%s sel=%g: shared-pool result diverges from serial (%d vs %d rows)",
+							pair.parallel.Name(), layout, sel, got.Len(), want.Len())
+					}
+				}()
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,183 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// MaxGroupCols bounds an Aggregate's group-by arity: the engines hash
+// groups through a fixed-size composite key (exec.GroupKey is
+// [MaxGroupCols]Word — it aliases this constant, so the two cannot
+// drift). Check enforces the bound so remote plans fail validation
+// instead of overrunning the key array at execution.
+const MaxGroupCols = 4
+
+// Check validates a plan against a catalog without executing it: tables
+// must exist, attribute and output positions must be in range, aggregates
+// must have well-formed arguments. Engines assume valid plans and panic
+// otherwise (experiment wiring is fail-fast by design); the serving layer
+// runs Check first so a malformed request is a 4xx, not a crashed worker.
+// Errors are FieldErrors naming the offending position in the same dotted
+// notation the JSON decoder uses.
+func Check(n Node, c *Catalog) error {
+	_, err := checkNode(n, c, "plan")
+	return err
+}
+
+// checkNode validates a subtree and returns its output width.
+func checkNode(n Node, c *Catalog, path string) (int, error) {
+	switch v := n.(type) {
+	case Scan:
+		if !c.Has(v.Table) {
+			return 0, fieldErrf(path+".table", "unknown table %q", v.Table)
+		}
+		width := c.Table(v.Table).Schema.Width()
+		if len(v.Cols) == 0 {
+			return 0, fieldErrf(path+".cols", "scan projects no columns")
+		}
+		for i, a := range v.Cols {
+			if a < 0 || a >= width {
+				return 0, fieldErrf(fmt.Sprintf("%s.cols[%d]", path, i),
+					"attribute %d outside table %q's %d attributes", a, v.Table, width)
+			}
+		}
+		if err := checkPred(v.Filter, width, path+".filter"); err != nil {
+			return 0, err
+		}
+		return len(v.Cols), nil
+	case Select:
+		w, err := checkNode(v.Child, c, path+".child")
+		if err != nil {
+			return 0, err
+		}
+		if err := checkPred(v.Pred, w, path+".pred"); err != nil {
+			return 0, err
+		}
+		return w, nil
+	case Project:
+		w, err := checkNode(v.Child, c, path+".child")
+		if err != nil {
+			return 0, err
+		}
+		if len(v.Exprs) == 0 {
+			return 0, fieldErrf(path+".exprs", "projection computes no expressions")
+		}
+		for i, e := range v.Exprs {
+			if err := checkExpr(e, w, fmt.Sprintf("%s.exprs[%d]", path, i)); err != nil {
+				return 0, err
+			}
+		}
+		if len(v.Names) > len(v.Exprs) {
+			return 0, fieldErrf(path+".names", "%d names for %d expressions", len(v.Names), len(v.Exprs))
+		}
+		return len(v.Exprs), nil
+	case HashJoin:
+		lw, err := checkNode(v.Left, c, path+".left")
+		if err != nil {
+			return 0, err
+		}
+		rw, err := checkNode(v.Right, c, path+".right")
+		if err != nil {
+			return 0, err
+		}
+		if v.LeftKey < 0 || v.LeftKey >= lw {
+			return 0, fieldErrf(path+".leftKey", "key position %d outside the left side's %d columns", v.LeftKey, lw)
+		}
+		if v.RightKey < 0 || v.RightKey >= rw {
+			return 0, fieldErrf(path+".rightKey", "key position %d outside the right side's %d columns", v.RightKey, rw)
+		}
+		return lw + rw, nil
+	case Aggregate:
+		w, err := checkNode(v.Child, c, path+".child")
+		if err != nil {
+			return 0, err
+		}
+		if len(v.GroupBy) > MaxGroupCols {
+			return 0, fieldErrf(path+".groupBy",
+				"%d group columns, engines support at most %d", len(v.GroupBy), MaxGroupCols)
+		}
+		for i, g := range v.GroupBy {
+			if g < 0 || g >= w {
+				return 0, fieldErrf(fmt.Sprintf("%s.groupBy[%d]", path, i),
+					"group position %d outside the child's %d columns", g, w)
+			}
+		}
+		if len(v.Aggs) == 0 {
+			return 0, fieldErrf(path+".aggs", "aggregate computes no aggregates")
+		}
+		for i, a := range v.Aggs {
+			apath := fmt.Sprintf("%s.aggs[%d]", path, i)
+			if a.Arg == nil {
+				if a.Kind != expr.Count {
+					return 0, fieldErrf(apath+".arg", "aggregate %q requires an argument", a.Kind)
+				}
+				continue
+			}
+			if err := checkExpr(a.Arg, w, apath+".arg"); err != nil {
+				return 0, err
+			}
+		}
+		return len(v.GroupBy) + len(v.Aggs), nil
+	case Sort:
+		w, err := checkNode(v.Child, c, path+".child")
+		if err != nil {
+			return 0, err
+		}
+		for i, k := range v.Keys {
+			if k.Pos < 0 || k.Pos >= w {
+				return 0, fieldErrf(fmt.Sprintf("%s.keys[%d].pos", path, i),
+					"sort position %d outside the child's %d columns", k.Pos, w)
+			}
+		}
+		return w, nil
+	case Limit:
+		w, err := checkNode(v.Child, c, path+".child")
+		if err != nil {
+			return 0, err
+		}
+		if v.N < 0 {
+			return 0, fieldErrf(path+".n", "limit must be >= 0, got %d", v.N)
+		}
+		return w, nil
+	case Insert:
+		if !c.Has(v.Table) {
+			return 0, fieldErrf(path+".table", "unknown table %q", v.Table)
+		}
+		width := c.Table(v.Table).Schema.Width()
+		for i, r := range v.Rows {
+			if len(r) != width {
+				return 0, fieldErrf(fmt.Sprintf("%s.rows[%d]", path, i),
+					"row has %d values, table %q has %d attributes", len(r), v.Table, width)
+			}
+		}
+		return 1, nil
+	case nil:
+		return 0, fieldErrf(path, "missing plan node")
+	}
+	return 0, fieldErrf(path, "unsupported plan node type %T", n)
+}
+
+func checkPred(p expr.Pred, width int, path string) error {
+	if p == nil {
+		return nil
+	}
+	for _, a := range expr.PredAttrs(p) {
+		if a < 0 || a >= width {
+			return fieldErrf(path, "predicate references attribute %d outside the %d available", a, width)
+		}
+	}
+	return nil
+}
+
+func checkExpr(e expr.Expr, width int, path string) error {
+	if e == nil {
+		return fieldErrf(path, "missing expression")
+	}
+	for _, a := range expr.ExprAttrs(e) {
+		if a < 0 || a >= width {
+			return fieldErrf(path, "expression references attribute %d outside the %d available", a, width)
+		}
+	}
+	return nil
+}

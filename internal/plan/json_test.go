@@ -1,0 +1,320 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// samplePlans covers every node, predicate and expression kind at least
+// once; the round-trip and fuzz tests both draw from it.
+func samplePlans() map[string]Node {
+	inSet := storage.NewCodeSet([]storage.Word{1, 3, 9}, 12)
+	return map[string]Node{
+		"scan": Scan{Table: "R", Cols: []int{0, 1, 2}},
+		"scan-filtered": Scan{
+			Table: "R",
+			Filter: expr.Conj(
+				expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(100)},
+				expr.Between{Attr: 1, Lo: storage.EncodeInt(3), Hi: storage.EncodeInt(7)},
+			),
+			Cols: []int{1, 2},
+		},
+		"scan-or-notnull": Scan{
+			Table: "R",
+			Filter: expr.Or{Preds: []expr.Pred{
+				expr.NotNull{Attr: 2},
+				expr.InSet{Attr: 3, Set: inSet},
+				expr.True{},
+			}},
+			Cols: []int{0},
+		},
+		"select-project": Project{
+			Child: Select{
+				Child: Scan{Table: "R", Cols: []int{0, 1}},
+				Pred:  expr.Cmp{Attr: 1, Op: expr.Ge, Val: storage.EncodeInt(5)},
+			},
+			Exprs: []expr.Expr{
+				expr.Arith{Op: expr.Add, L: expr.IntCol(0), R: expr.IntConst(1)},
+				expr.Arith{Op: expr.Mul, L: expr.FloatConst(2.5), R: expr.FloatConst(4)},
+			},
+			Names: []string{"bumped", "ten"},
+		},
+		"join-agg-sort-limit": Limit{
+			N: 10,
+			Child: Sort{
+				Keys: []SortKey{{Pos: 1, Desc: true}, {Pos: 0}},
+				Child: Aggregate{
+					Child: HashJoin{
+						Left:     Scan{Table: "R", Cols: []int{0, 1}},
+						Right:    Scan{Table: "S", Cols: []int{0, 2}},
+						LeftKey:  0,
+						RightKey: 0,
+					},
+					GroupBy: []int{1},
+					Aggs: []expr.AggSpec{
+						{Kind: expr.Count, Name: "n"},
+						{Kind: expr.Sum, Arg: expr.IntCol(3), Name: "total"},
+						{Kind: expr.Min, Arg: expr.IntCol(3), Name: "lo"},
+						{Kind: expr.Max, Arg: expr.IntCol(3), Name: "hi"},
+						{Kind: expr.Avg, Arg: expr.IntCol(3), Name: "mean"},
+					},
+				},
+			},
+		},
+		"insert": Insert{Table: "R", Rows: [][]storage.Word{
+			{storage.EncodeInt(1), storage.EncodeInt(2), storage.EncodeInt(3), storage.EncodeInt(4)},
+		}},
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	for name, p := range samplePlans() {
+		t.Run(name, func(t *testing.T) {
+			data, err := MarshalNode(p)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := UnmarshalNode(data)
+			if err != nil {
+				t.Fatalf("unmarshal %s: %v", data, err)
+			}
+			if !reflect.DeepEqual(normalize(p), normalize(back)) {
+				t.Fatalf("round trip drifted:\n in: %#v\nout: %#v\nvia: %s", p, back, data)
+			}
+			// The canonical encoding must be stable: it doubles as the
+			// prepared-plan cache key.
+			again, err := MarshalNode(back)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if string(data) != string(again) {
+				t.Fatalf("encoding not canonical:\n first: %s\nsecond: %s", data, again)
+			}
+		})
+	}
+}
+
+// normalize rewrites representation-level slack that DeepEqual would trip
+// over: a nil Cols/GroupBy slice decodes as empty, and a CodeSet compares
+// by contents.
+func normalize(n Node) Node {
+	switch v := n.(type) {
+	case Scan:
+		v.Cols = append([]int{}, v.Cols...)
+		v.Filter = normalizePred(v.Filter)
+		return v
+	case Select:
+		v.Child = normalize(v.Child)
+		v.Pred = normalizePred(v.Pred)
+		return v
+	case Project:
+		v.Child = normalize(v.Child)
+		if v.Names == nil {
+			v.Names = []string{}
+		}
+		return v
+	case HashJoin:
+		v.Left = normalize(v.Left)
+		v.Right = normalize(v.Right)
+		return v
+	case Aggregate:
+		v.Child = normalize(v.Child)
+		v.GroupBy = append([]int{}, v.GroupBy...)
+		return v
+	case Sort:
+		v.Child = normalize(v.Child)
+		return v
+	case Limit:
+		v.Child = normalize(v.Child)
+		return v
+	default:
+		return n
+	}
+}
+
+func normalizePred(p expr.Pred) expr.Pred {
+	switch v := p.(type) {
+	case expr.InSet:
+		// Rebuild through the serialized form so bitset-internal slack
+		// (identical contents, different backing) compares equal.
+		return expr.InSet{Attr: v.Attr, Set: storage.NewCodeSet(v.Set.Codes(), v.Set.Size())}
+	case expr.And:
+		out := make([]expr.Pred, len(v.Preds))
+		for i, c := range v.Preds {
+			out[i] = normalizePred(c)
+		}
+		return expr.And{Preds: out}
+	case expr.Or:
+		out := make([]expr.Pred, len(v.Preds))
+		for i, c := range v.Preds {
+			out[i] = normalizePred(c)
+		}
+		return expr.Or{Preds: out}
+	default:
+		return p
+	}
+}
+
+// TestPlanJSONErrorsNameField asserts malformed inputs are rejected with
+// errors that name the offending field by path.
+func TestPlanJSONErrorsNameField(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		field string
+	}{
+		{"not-an-object", `[1,2]`, "plan"},
+		{"missing-op", `{"table":"R"}`, "plan.op"},
+		{"unknown-op", `{"op":"teleport"}`, "plan.op"},
+		{"scan-missing-table", `{"op":"scan","cols":[0]}`, "plan.table"},
+		{"scan-missing-cols", `{"op":"scan","table":"R"}`, "plan.cols"},
+		{"scan-negative-col", `{"op":"scan","table":"R","cols":[0,-2]}`, "plan.cols[1]"},
+		{"scan-bad-filter", `{"op":"scan","table":"R","cols":[0],"filter":{"pred":"cmp","attr":0,"op":"!","val":{"int":1}}}`, "plan.filter.op"},
+		{"nested-bad-pred", `{"op":"select","child":{"op":"scan","table":"R","cols":[0]},"pred":{"pred":"and","preds":[{"pred":"true"},{"pred":"cmp","attr":-1,"op":"=","val":{"int":1}}]}}`, "plan.pred.preds[1].attr"},
+		{"value-two-kinds", `{"op":"select","child":{"op":"scan","table":"R","cols":[0]},"pred":{"pred":"cmp","attr":0,"op":"=","val":{"int":1,"float":2}}}`, "plan.pred.val"},
+		{"value-no-kind", `{"op":"select","child":{"op":"scan","table":"R","cols":[0]},"pred":{"pred":"cmp","attr":0,"op":"=","val":{}}}`, "plan.pred.val"},
+		{"limit-negative", `{"op":"limit","n":-1,"child":{"op":"scan","table":"R","cols":[0]}}`, "plan.n"},
+		{"sort-bad-key", `{"op":"sort","keys":[{"pos":"zero"}],"child":{"op":"scan","table":"R","cols":[0]}}`, "plan.keys[0].pos"},
+		{"agg-missing-arg", `{"op":"aggregate","aggs":[{"agg":"sum","name":"s"}],"child":{"op":"scan","table":"R","cols":[0]}}`, "plan.aggs[0].arg"},
+		{"agg-unknown-kind", `{"op":"aggregate","aggs":[{"agg":"median"}],"child":{"op":"scan","table":"R","cols":[0]}}`, "plan.aggs[0].agg"},
+		{"project-bad-expr", `{"op":"project","exprs":[{"expr":"col","attr":0,"type":"int32"}],"child":{"op":"scan","table":"R","cols":[0]}}`, "plan.exprs[0].type"},
+		{"arith-type-mismatch", `{"op":"project","exprs":[{"expr":"arith","op":"+","left":{"expr":"col","attr":0,"type":"int64"},"right":{"expr":"const","type":"float64","val":{"float":1}}}],"child":{"op":"scan","table":"R","cols":[0]}}`, "plan.exprs[0].right"},
+		{"join-bad-key", `{"op":"hashjoin","left":{"op":"scan","table":"R","cols":[0]},"right":{"op":"scan","table":"S","cols":[0]},"leftKey":-1,"rightKey":0}`, "plan.leftKey"},
+		{"insert-bad-row", `{"op":"insert","table":"R","rows":[[{"int":1}],{"int":2}]}`, "plan.rows[1]"},
+		// A remote plan must not size the inset bitset: both the declared
+		// space and the codes themselves are bounded BEFORE allocation.
+		{"inset-huge-space", `{"op":"scan","table":"R","cols":[0],"filter":{"pred":"inset","attr":0,"codes":[1],"space":1000000000000}}`, "plan.filter.space"},
+		{"inset-huge-code", `{"op":"scan","table":"R","cols":[0],"filter":{"pred":"inset","attr":0,"codes":[1099511627776]}}`, "plan.filter.codes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnmarshalNode([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("no error for %s", tc.in)
+			}
+			fe, ok := err.(*FieldError)
+			if !ok {
+				t.Fatalf("error %v (%T) is not a FieldError", err, err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (err: %v)", fe.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func jsonTestCatalog() *Catalog {
+	mk := func(name string, attrs int) *storage.Relation {
+		as := make([]storage.Attribute, attrs)
+		for i := range as {
+			as[i] = storage.Attribute{Name: string(rune('a' + i)), Type: storage.Int64}
+		}
+		b := storage.NewBuilder(storage.NewSchema(name, as...))
+		col := make([]int64, 8)
+		for i := range col {
+			col[i] = int64(i)
+		}
+		for a := 0; a < attrs; a++ {
+			b.SetInts(a, col)
+		}
+		return b.Build(storage.NSM(attrs))
+	}
+	return NewCatalog().Add(mk("R", 4)).Add(mk("S", 3))
+}
+
+// TestCheck exercises the catalog-aware validation pass.
+func TestCheck(t *testing.T) {
+	c := jsonTestCatalog()
+	for name, p := range samplePlans() {
+		t.Run("valid/"+name, func(t *testing.T) {
+			if name == "scan-or-notnull" {
+				// InSet over attr 3 is fine structurally; codes target a
+				// string dictionary the test catalog doesn't model.
+			}
+			if err := Check(p, c); err != nil {
+				t.Fatalf("Check rejected a valid plan: %v", err)
+			}
+		})
+	}
+
+	bad := []struct {
+		name  string
+		plan  Node
+		field string
+	}{
+		{"unknown-table", Scan{Table: "T", Cols: []int{0}}, "plan.table"},
+		{"col-out-of-range", Scan{Table: "R", Cols: []int{0, 4}}, "plan.cols[1]"},
+		{"filter-out-of-range", Scan{Table: "R", Cols: []int{0}, Filter: expr.Cmp{Attr: 9, Op: expr.Eq, Val: 0}}, "plan.filter"},
+		{"pred-past-child", Select{Child: Scan{Table: "R", Cols: []int{0}}, Pred: expr.Cmp{Attr: 1, Op: expr.Eq, Val: 0}}, "plan.pred"},
+		{"join-key-past-side", HashJoin{
+			Left: Scan{Table: "R", Cols: []int{0}}, Right: Scan{Table: "S", Cols: []int{0}},
+			LeftKey: 1, RightKey: 0,
+		}, "plan.leftKey"},
+		{"group-past-child", Aggregate{
+			Child: Scan{Table: "R", Cols: []int{0}}, GroupBy: []int{2},
+			Aggs: []expr.AggSpec{{Kind: expr.Count}},
+		}, "plan.groupBy[0]"},
+		{"sum-missing-arg", Aggregate{
+			Child: Scan{Table: "R", Cols: []int{0}},
+			Aggs:  []expr.AggSpec{{Kind: expr.Sum, Name: "s"}},
+		}, "plan.aggs[0].arg"},
+		{"sort-past-child", Sort{Child: Scan{Table: "R", Cols: []int{0}}, Keys: []SortKey{{Pos: 3}}}, "plan.keys[0].pos"},
+		{"too-many-group-cols", Aggregate{
+			// 5 group columns overruns the engines' fixed-size GroupKey;
+			// Check must reject before MakeGroupKey can panic.
+			Child:   Scan{Table: "R", Cols: []int{0, 1, 2, 3, 0}},
+			GroupBy: []int{0, 1, 2, 3, 4},
+			Aggs:    []expr.AggSpec{{Kind: expr.Count}},
+		}, "plan.groupBy"},
+		{"insert-arity", Insert{Table: "R", Rows: [][]storage.Word{{1, 2}}}, "plan.rows[0]"},
+		{"nil-plan", nil, "plan"},
+	}
+	for _, tc := range bad {
+		t.Run("invalid/"+tc.name, func(t *testing.T) {
+			err := Check(tc.plan, c)
+			if err == nil {
+				t.Fatal("Check accepted an invalid plan")
+			}
+			fe, ok := err.(*FieldError)
+			if !ok {
+				t.Fatalf("error %v (%T) is not a FieldError", err, err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (err: %v)", fe.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// FuzzPlanJSON feeds arbitrary bytes to the decoder: it must never panic,
+// and anything it accepts must survive a marshal/unmarshal round trip.
+func FuzzPlanJSON(f *testing.F) {
+	for _, p := range samplePlans() {
+		if data, err := MarshalNode(p); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"op":"scan"`))
+	f.Add([]byte(`{"op":"limit","n":1e99,"child":{"op":"scan","table":"R","cols":[0]}}`))
+	f.Add([]byte(`{"op":"select","pred":{"pred":"cmp"},"child":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := UnmarshalNode(data)
+		if err != nil {
+			if !strings.Contains(err.Error(), "plan") {
+				t.Fatalf("error without a field path: %v", err)
+			}
+			return
+		}
+		enc, err := MarshalNode(n)
+		if err != nil {
+			t.Fatalf("accepted plan failed to marshal: %v", err)
+		}
+		if _, err := UnmarshalNode(enc); err != nil {
+			t.Fatalf("canonical form failed to decode: %v\nfrom: %s", err, enc)
+		}
+	})
+}

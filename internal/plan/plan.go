@@ -7,6 +7,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 
 	"math/rand"
 
@@ -51,6 +52,16 @@ func (c *Catalog) Table(name string) *storage.Relation {
 func (c *Catalog) Has(name string) bool {
 	_, ok := c.tables[name]
 	return ok
+}
+
+// Names returns the registered table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // AddIndex registers an index over table.attr.

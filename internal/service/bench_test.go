@@ -1,0 +1,54 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exec/result"
+	"repro/internal/plan"
+)
+
+// BenchmarkServiceThroughput measures multi-client throughput on one
+// shared worker pool: N closed-loop clients issue Fig-3-style queries
+// (the selectivity mix below) through the full service path — admission,
+// read lock, plan cache, pooled execution. b.N counts requests, so ns/op
+// is per-query latency under that concurrency; the qps metric is the
+// headline number recorded in BENCH_service.json.
+//
+// Setup asserts service results are row-identical to direct core.DB.Query
+// on a pristine serial database before any timing begins.
+func BenchmarkServiceThroughput(b *testing.B) {
+	const rows = 200_000
+	queries := []plan.Node{
+		DemoQuery(0.0001),
+		DemoQuery(0.01),
+		DemoQuery(0.1),
+	}
+	want := reference(b, rows, queries...)
+
+	s := New(NewDemoDB(rows), Config{Workers: 0, MaxInFlight: 32})
+	defer s.Close()
+	for i, q := range queries {
+		res, err := s.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !result.Equal(res, want[i]) {
+			b.Fatalf("query %d: service result differs from direct core.DB.Query", i)
+		}
+	}
+
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			g := LoadGen{Clients: clients, Requests: b.N, Queries: queries}
+			b.ResetTimer()
+			rep := g.Run(s)
+			b.StopTimer()
+			if rep.Errors > 0 {
+				b.Fatalf("%d/%d requests failed", rep.Errors, rep.Requests)
+			}
+			b.ReportMetric(rep.QPS, "qps")
+			b.ReportMetric(float64(rep.Rows)/float64(rep.Requests), "rows/op")
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// NewDemoDB builds a core.DB holding the paper's example relation
+// R(A..P): 16 int64 attributes with A uniform over [0, 1e6) — the Figure 2
+// fixture — so `A < s*1e6` has selectivity s. cmd/served, the examples and
+// the throughput benchmark all serve this database.
+func NewDemoDB(rows int) *core.DB {
+	attrs := make([]storage.Attribute, 16)
+	for i := range attrs {
+		attrs[i] = storage.Attribute{Name: string(rune('A' + i)), Type: storage.Int64}
+	}
+	b := storage.NewBuilder(storage.NewSchema("R", attrs...))
+	rng := rand.New(rand.NewSource(1))
+	for a := 0; a < 16; a++ {
+		col := make([]int64, rows)
+		for i := range col {
+			if a == 0 {
+				col[i] = rng.Int63n(1_000_000)
+			} else {
+				col[i] = rng.Int63n(1000)
+			}
+		}
+		b.SetInts(a, col)
+	}
+	db := core.Open()
+	db.CreateTable(b)
+	return db
+}
+
+// DemoQuery is the example query at a given selectivity:
+// select sum(B),sum(C),sum(D),sum(E) from R where A < s*1e6.
+func DemoQuery(selectivity float64) plan.Node {
+	threshold := int64(selectivity * 1_000_000)
+	return plan.Aggregate{
+		Child: plan.Scan{
+			Table:  "R",
+			Filter: expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(threshold)},
+			Cols:   []int{1, 2, 3, 4},
+		},
+		Aggs: []expr.AggSpec{
+			{Kind: expr.Sum, Arg: expr.IntCol(0), Name: "sum_b"},
+			{Kind: expr.Sum, Arg: expr.IntCol(1), Name: "sum_c"},
+			{Kind: expr.Sum, Arg: expr.IntCol(2), Name: "sum_d"},
+			{Kind: expr.Sum, Arg: expr.IntCol(3), Name: "sum_e"},
+		},
+	}
+}
+
+// DemoWorkload declares the demo query mix on db (for OptimizeLayouts).
+func DemoWorkload(db *core.DB) {
+	db.AddWorkload("demo-low", DemoQuery(0.01), 0.7)
+	db.AddWorkload("demo-high", DemoQuery(0.5), 0.3)
+}

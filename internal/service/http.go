@@ -1,0 +1,258 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/exec/result"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// HTTP front-end: a plain JSON-over-HTTP surface for the service.
+//
+//	POST /query    {"plan": <plan JSON>}          -> result
+//	POST /prepare  {"plan": <plan JSON>}          -> {"id": "s1", "cols": [...]}
+//	POST /exec     {"id": "s1"}                   -> result
+//	POST /optimize {}                             -> layout changes
+//	GET  /tables                                  -> catalog listing
+//	GET  /stats                                   -> service counters
+//
+// Results decode words by column type: int64/float64/bool become JSON
+// numbers/booleans, string columns stay dictionary codes (plans address
+// attributes positionally; the response's cols carry the types). NULL is
+// JSON null. Malformed plans get a 400 whose error names the offending
+// field; admission rejections get a 429.
+
+const maxRequestBytes = 8 << 20 // plans and insert batches, not bulk loads
+
+// Handler returns the HTTP API for the service.
+func (s *DB) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/prepare", s.handlePrepare)
+	mux.HandleFunc("/exec", s.handleExec)
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+type planRequest struct {
+	Plan json.RawMessage `json:"plan"`
+}
+
+type execRequest struct {
+	ID string `json:"id"`
+}
+
+type colJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type resultJSON struct {
+	Cols     []colJSON `json:"cols"`
+	Rows     [][]any   `json:"rows"`
+	RowCount int       `json:"rowCount"`
+	Micros   int64     `json:"micros"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func (s *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Plan) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request body needs a \"plan\" field"))
+		return
+	}
+	start := time.Now()
+	res, err := s.QueryJSON(req.Plan)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResult(res, time.Since(start)))
+}
+
+func (s *DB) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Plan) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request body needs a \"plan\" field"))
+		return
+	}
+	p, err := plan.UnmarshalNode(req.Plan)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	st, err := s.Prepare(p)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	cols := make([]colJSON, len(st.Cols))
+	for i, c := range st.Cols {
+		cols[i] = colJSON{Name: c.Name, Type: c.Type.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": st.ID, "cols": cols})
+}
+
+func (s *DB) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	res, err := s.Exec(req.ID)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			writeError(w, http.StatusNotFound, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResult(res, time.Since(start)))
+}
+
+func (s *DB) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	type changeJSON struct {
+		Table   string  `json:"table"`
+		Old     string  `json:"old"`
+		New     string  `json:"new"`
+		OldCost float64 `json:"oldCost"`
+		NewCost float64 `json:"newCost"`
+	}
+	changes := s.OptimizeLayouts()
+	out := make([]changeJSON, len(changes))
+	for i, ch := range changes {
+		out[i] = changeJSON{
+			Table: ch.Table, Old: ch.Old.String(), New: ch.New.String(),
+			OldCost: ch.OldCost, NewCost: ch.NewCost,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"changes": out})
+}
+
+func (s *DB) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.Tables()})
+}
+
+func (s *DB) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// readJSON decodes a POST body into dst, writing the error response on
+// failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+		return false
+	}
+	if len(body) > maxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request over %d bytes", maxRequestBytes))
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeQueryError maps service errors onto status codes: overload to 429,
+// everything else (decode/validation) to 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := errorJSON{Error: err.Error()}
+	var fe *plan.FieldError
+	if errors.As(err, &fe) {
+		resp.Field = fe.Field
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// encodeResult renders a result set with words decoded by column type.
+func encodeResult(res *result.Set, took time.Duration) resultJSON {
+	cols := make([]colJSON, len(res.Cols))
+	for i, c := range res.Cols {
+		cols[i] = colJSON{Name: c.Name, Type: c.Type.String()}
+	}
+	rows := make([][]any, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]any, len(r))
+		for j, word := range r {
+			row[j] = decodeWord(word, colType(res.Cols, j))
+		}
+		rows[i] = row
+	}
+	return resultJSON{Cols: cols, Rows: rows, RowCount: len(rows), Micros: took.Microseconds()}
+}
+
+func colType(cols []plan.Column, j int) storage.Type {
+	if j < len(cols) {
+		return cols[j].Type
+	}
+	return storage.Int64
+}
+
+func decodeWord(w storage.Word, t storage.Type) any {
+	if w == storage.Null {
+		return nil
+	}
+	switch t {
+	case storage.Int64:
+		return storage.DecodeInt(w)
+	case storage.Float64:
+		return storage.DecodeFloat(w)
+	case storage.Bool:
+		return storage.DecodeBool(w)
+	default: // String: dictionary code (positional plans carry no dict)
+		return w
+	}
+}

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *DB) {
+	t.Helper()
+	s := New(NewDemoDB(testRows), Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return srv, s
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// demoQueryJSON is the human-written form of DemoQuery: typed constants
+// instead of raw words.
+func demoQueryJSON(threshold int) string {
+	return fmt.Sprintf(`{"plan": {
+		"op": "aggregate",
+		"child": {
+			"op": "scan", "table": "R",
+			"filter": {"pred": "cmp", "attr": 0, "op": "<", "val": {"int": %d}},
+			"cols": [1, 2, 3, 4]
+		},
+		"aggs": [
+			{"agg": "sum", "arg": {"expr": "col", "attr": 0, "type": "int64"}, "name": "sum_b"},
+			{"agg": "sum", "arg": {"expr": "col", "attr": 1, "type": "int64"}, "name": "sum_c"},
+			{"agg": "sum", "arg": {"expr": "col", "attr": 2, "type": "int64"}, "name": "sum_d"},
+			{"agg": "sum", "arg": {"expr": "col", "attr": 3, "type": "int64"}, "name": "sum_e"}
+		]
+	}}`, threshold)
+}
+
+func TestHTTPQuery(t *testing.T) {
+	srv, s := newTestServer(t)
+
+	resp, out := post(t, srv.URL+"/query", demoQueryJSON(10_000))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body = %v", resp.StatusCode, out)
+	}
+	if out["rowCount"].(float64) != 1 {
+		t.Fatalf("rowCount = %v, want 1", out["rowCount"])
+	}
+	rows := out["rows"].([]any)
+	row := rows[0].([]any)
+	if len(row) != 4 {
+		t.Fatalf("row arity = %d, want 4", len(row))
+	}
+	// Cross-check one value against the in-process path.
+	want, err := s.Query(DemoQuery(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := float64(storage.DecodeInt(want.Rows[0][0]))
+	if row[0].(float64) != direct {
+		t.Fatalf("sum_b over HTTP = %v, direct = %v", row[0], direct)
+	}
+}
+
+func TestHTTPPrepareExec(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, out := post(t, srv.URL+"/prepare", demoQueryJSON(50_000))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare status = %d, body = %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	if id == "" {
+		t.Fatal("prepare returned no id")
+	}
+	if cols := out["cols"].([]any); len(cols) != 4 {
+		t.Fatalf("prepare cols = %d, want 4", len(cols))
+	}
+
+	resp, out = post(t, srv.URL+"/exec", fmt.Sprintf(`{"id": %q}`, id))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec status = %d, body = %v", resp.StatusCode, out)
+	}
+	if out["rowCount"].(float64) != 1 {
+		t.Fatalf("exec rowCount = %v, want 1", out["rowCount"])
+	}
+
+	resp, out = post(t, srv.URL+"/exec", `{"id": "nope"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stmt status = %d, body = %v", resp.StatusCode, out)
+	}
+}
+
+func TestHTTPValidationErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	cases := []struct {
+		body  string
+		field string
+	}{
+		{`{"plan": {"op": "scan", "table": "nope", "cols": [0]}}`, "plan.table"},
+		{`{"plan": {"op": "scan", "table": "R", "cols": [99]}}`, "plan.cols[0]"},
+		{`{"plan": {"op": "teleport"}}`, "plan.op"},
+		{`{"plan": {"op": "scan", "table": "R", "cols": [0], "filter": {"pred": "cmp", "attr": 0, "op": "!!", "val": {"int": 1}}}}`, "plan.filter.op"},
+		{`{"plan": {"op": "aggregate", "child": {"op": "scan", "table": "R", "cols": [0, 1, 2, 3, 4]}, "groupBy": [0, 1, 2, 3, 4], "aggs": [{"agg": "count"}]}}`, "plan.groupBy"},
+		{`{"plan": {"op": "scan", "table": "R", "cols": [0], "filter": {"pred": "inset", "attr": 0, "codes": [1], "space": 1000000000000}}}`, "plan.filter.space"},
+	}
+	for _, tc := range cases {
+		resp, out := post(t, srv.URL+"/query", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d for %s, want 400", resp.StatusCode, tc.body)
+		}
+		if out["field"] != tc.field {
+			t.Fatalf("error field = %v, want %s (body: %v)", out["field"], tc.field, out)
+		}
+	}
+
+	// Non-JSON body.
+	resp, _ := post(t, srv.URL+"/query", `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-JSON body status = %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPTablesAndStats(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, out := get(t, srv.URL+"/tables")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tables status = %d", resp.StatusCode)
+	}
+	tables := out["tables"].([]any)
+	if len(tables) != 1 || tables[0].(map[string]any)["name"] != "R" {
+		t.Fatalf("tables = %v", out)
+	}
+
+	post(t, srv.URL+"/query", demoQueryJSON(1000))
+	resp, out = get(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if out["queries"].(float64) < 1 {
+		t.Fatalf("stats queries = %v, want >= 1", out["queries"])
+	}
+}
+
+func TestHTTPOptimize(t *testing.T) {
+	srv, s := newTestServer(t)
+	DemoWorkload(s.Unwrap())
+
+	resp, out := post(t, srv.URL+"/optimize", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize status = %d, body = %v", resp.StatusCode, out)
+	}
+	if _, ok := out["changes"]; !ok {
+		t.Fatalf("optimize response missing changes: %v", out)
+	}
+	// Queries still work (and recompile) after the relayout.
+	resp, out = post(t, srv.URL+"/query", demoQueryJSON(1000))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after optimize status = %d, body = %v", resp.StatusCode, out)
+	}
+}

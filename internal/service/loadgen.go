@@ -1,0 +1,80 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// LoadGen drives a service with concurrent closed-loop clients — the
+// throughput harness behind BenchmarkServiceThroughput and the CI smoke.
+// Each client issues its share of Requests, round-robining over Queries.
+type LoadGen struct {
+	Clients  int         // concurrent clients; <= 0 means 1
+	Requests int         // total requests across all clients
+	Queries  []plan.Node // the mix; clients rotate through it
+}
+
+// LoadReport summarizes one LoadGen run.
+type LoadReport struct {
+	Requests int           // attempted requests
+	Errors   int           // failed requests (incl. admission rejections)
+	Rows     int64         // total result rows
+	Elapsed  time.Duration // wall time of the whole run
+	QPS      float64       // successful queries per wall-clock second
+}
+
+// Run executes the load against s and reports throughput. An empty query
+// mix yields an empty report.
+func (g LoadGen) Run(s *DB) LoadReport {
+	if len(g.Queries) == 0 {
+		return LoadReport{}
+	}
+	clients := g.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	total := g.Requests
+	if total <= 0 {
+		total = clients
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	rep := LoadReport{Requests: total}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		share := total / clients
+		if c < total%clients {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, share int) {
+			defer wg.Done()
+			errs, rows := 0, int64(0)
+			for i := 0; i < share; i++ {
+				q := g.Queries[(c+i)%len(g.Queries)]
+				res, err := s.Query(q)
+				if err != nil {
+					errs++
+					continue
+				}
+				rows += int64(res.Len())
+			}
+			mu.Lock()
+			rep.Errors += errs
+			rep.Rows += rows
+			mu.Unlock()
+		}(c, share)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.QPS = float64(total-rep.Errors) / rep.Elapsed.Seconds()
+	}
+	return rep
+}

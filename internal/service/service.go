@@ -1,0 +1,487 @@
+// Package service turns the single-caller core.DB into a concurrent query
+// service: many goroutines — typically HTTP handlers in cmd/served — issue
+// queries simultaneously against one database, sharing one process-wide
+// morsel-scheduler pool (par.Pool) so that concurrent scans interleave on
+// the same workers instead of each spawning its own.
+//
+// The design follows the offline/online split of serving systems: validate
+// and compile a plan once (the expensive, client-agnostic part), then
+// answer many concurrent requests from the cached compiled form. Three
+// mechanisms make that safe and bounded:
+//
+//   - a catalog RWMutex: queries share a read lock; layout optimization,
+//     inserts and other DDL-like operations take the write lock, so a
+//     re-layout never swaps a relation out from under a running scan;
+//   - a prepared-plan cache keyed by the plan's canonical JSON encoding,
+//     invalidated wholesale when the write lock changes the catalog;
+//   - admission control: at most MaxInFlight queries execute at once,
+//     excess requests queue up to QueueTimeout and are then rejected
+//     with ErrOverloaded instead of piling onto the pool.
+//
+// Determinism is inherited from the engines: results are row-identical to
+// a serial core.DB.Query of the same plan, which the race tests assert
+// while layouts are being re-optimized mid-flight.
+package service
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec/jit"
+	"repro/internal/exec/par"
+	"repro/internal/exec/result"
+	"repro/internal/plan"
+)
+
+// ErrOverloaded reports that admission control rejected a request because
+// MaxInFlight queries were already executing and none finished within
+// QueueTimeout.
+var ErrOverloaded = errors.New("service: overloaded (admission queue timed out)")
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the shared pool's worker count: 0 means GOMAXPROCS,
+	// 1 disables parallel scans (queries still run concurrently, each
+	// serial). The pool is shared by every query the service executes.
+	Workers int
+	// MaxInFlight bounds concurrently executing queries; 0 means
+	// 2 × pool workers (enough to keep the pool busy while some queries
+	// sit in serial phases) — the queue holds the rest.
+	MaxInFlight int
+	// QueueTimeout is how long an admitted-over-capacity request waits
+	// for a slot before ErrOverloaded; 0 means one second.
+	QueueTimeout time.Duration
+}
+
+// DB is a concurrency-safe serving wrapper around one core.DB. Create it
+// with New, release pool workers with Close.
+type DB struct {
+	db   *core.DB
+	pool *par.Pool
+	opt  par.Options
+
+	// catalogMu is the catalog guard: queries hold it for reading during
+	// compile + execute; OptimizeLayouts and Insert hold it for writing.
+	catalogMu sync.RWMutex
+
+	// plans caches compiled queries by canonical plan JSON. Entries are
+	// compiled at most once (the entry's once), readers of the same plan
+	// share the compiled form, and the whole map is dropped when the
+	// catalog changes.
+	planMu sync.Mutex
+	plans  map[string]*cachedPlan
+
+	stmtMu sync.Mutex
+	stmts  map[string]*Stmt
+	nextID atomic.Uint64
+
+	sem          chan struct{}
+	queueTimeout time.Duration
+
+	stats statsCounters
+}
+
+type cachedPlan struct {
+	once sync.Once
+	prep *jit.Prepared
+	err  error
+}
+
+// Stmt is a prepared statement handle: a validated plan bound to the
+// service, executed through DB.Exec. The compiled form lives in the
+// plan cache, so statements stay valid (and recompile transparently)
+// across catalog changes.
+type Stmt struct {
+	ID   string
+	Cols []plan.Column
+	node plan.Node
+	key  string
+}
+
+// New wraps db in a serving layer. The service owns a fresh shared pool
+// sized by cfg.Workers and installs it on db (SetParOptions), so direct
+// db.Query calls made while the service is idle use the same pool.
+func New(db *core.DB, cfg Config) *DB {
+	opt := par.Serial()
+	var pool *par.Pool
+	if cfg.Workers != 1 {
+		pool = par.NewPool(cfg.Workers)
+		opt = par.WithPool(pool)
+	}
+	db.SetParOptions(opt)
+	inFlight := cfg.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = 2 * opt.WorkerCount()
+	}
+	timeout := cfg.QueueTimeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &DB{
+		db:           db,
+		pool:         pool,
+		opt:          opt,
+		plans:        map[string]*cachedPlan{},
+		stmts:        map[string]*Stmt{},
+		sem:          make(chan struct{}, inFlight),
+		queueTimeout: timeout,
+	}
+}
+
+// Close stops the shared pool. In-flight queries finish (a closed pool
+// degrades to inline serial execution); new queries keep working serially.
+func (s *DB) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// Unwrap returns the wrapped core.DB for single-threaded setup (loading
+// tables, declaring workloads) before serving starts.
+func (s *DB) Unwrap() *core.DB { return s.db }
+
+// admit reserves an execution slot, waiting up to the queue timeout.
+func (s *DB) admit() (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.stats.queued.Add(1)
+		t := time.NewTimer(s.queueTimeout)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+		case <-t.C:
+			s.stats.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+	}
+	s.stats.inFlight.Add(1)
+	return func() {
+		s.stats.inFlight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// Query validates, compiles (or reuses) and executes a plan. Read plans
+// run under the shared read lock; Insert plans take the write lock and
+// invalidate the plan cache. Results are row-identical to core.DB.Query.
+func (s *DB) Query(p plan.Node) (*result.Set, error) {
+	key, err := planKey(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(p, key)
+}
+
+// QueryJSON decodes a JSON-encoded plan and executes it; the decode error,
+// if any, names the offending field.
+func (s *DB) QueryJSON(data []byte) (*result.Set, error) {
+	p, err := plan.UnmarshalNode(data)
+	if err != nil {
+		return nil, err
+	}
+	// The canonical re-encoding (not the client's bytes) keys the cache,
+	// so formatting differences still hit the same entry.
+	return s.Query(p)
+}
+
+// Prepare validates a plan and registers it as a statement. Compilation
+// happens on first execution and is shared with identical ad-hoc queries.
+func (s *DB) Prepare(p plan.Node) (*Stmt, error) {
+	key, err := planKey(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.(plan.Insert); ok {
+		return nil, fmt.Errorf("service: insert plans cannot be prepared")
+	}
+	s.catalogMu.RLock()
+	err = plan.Check(p, s.db.Catalog())
+	var cols []plan.Column
+	if err == nil {
+		cols = plan.Output(p, s.db.Catalog())
+	}
+	s.catalogMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{
+		ID:   fmt.Sprintf("s%d", s.nextID.Add(1)),
+		Cols: cols,
+		node: p,
+		key:  key,
+	}
+	s.stmtMu.Lock()
+	if len(s.stmts) >= maxStmts {
+		s.stmtMu.Unlock()
+		return nil, fmt.Errorf("service: %d prepared statements open, close some first", maxStmts)
+	}
+	s.stmts[st.ID] = st
+	s.stmtMu.Unlock()
+	s.stats.prepared.Add(1)
+	return st, nil
+}
+
+// maxStmts bounds the statement registry. Unlike the plan cache, entries
+// cannot be silently evicted — clients hold the ids — so Prepare rejects
+// past the cap instead; each retained Stmt keeps its full decoded plan.
+const maxStmts = 1024
+
+// Stmt returns a registered statement by id.
+func (s *DB) Stmt(id string) (*Stmt, bool) {
+	s.stmtMu.Lock()
+	defer s.stmtMu.Unlock()
+	st, ok := s.stmts[id]
+	return st, ok
+}
+
+// Exec executes a prepared statement by id.
+func (s *DB) Exec(id string) (*result.Set, error) {
+	st, ok := s.Stmt(id)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown statement %q", id)
+	}
+	return s.run(st.node, st.key)
+}
+
+// CloseStmt drops a statement handle (the cached compiled form stays,
+// shared with identical plans, until the next catalog change).
+func (s *DB) CloseStmt(id string) bool {
+	s.stmtMu.Lock()
+	defer s.stmtMu.Unlock()
+	if _, ok := s.stmts[id]; !ok {
+		return false
+	}
+	delete(s.stmts, id)
+	return true
+}
+
+// run is the shared execution path of Query and Exec.
+func (s *DB) run(p plan.Node, key string) (*result.Set, error) {
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	start := time.Now()
+
+	var res *result.Set
+	if _, ok := p.(plan.Insert); ok {
+		res, err = s.runInsert(p)
+	} else {
+		res, err = s.runRead(p, key)
+	}
+	if err != nil {
+		s.stats.failed.Add(1)
+		return nil, err
+	}
+	s.stats.queries.Add(1)
+	s.stats.rows.Add(int64(res.Len()))
+	s.stats.execNanos.Add(time.Since(start).Nanoseconds())
+	return res, nil
+}
+
+func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
+	entry := s.lookup(key)
+	entry.once.Do(func() {
+		if err := plan.Check(p, s.db.Catalog()); err != nil {
+			entry.err = err
+			return
+		}
+		entry.prep = jit.PrepareOpt(p, s.db.Catalog(), s.opt)
+	})
+	if entry.err != nil {
+		// Invalid plans are not worth a cache slot: a stream of distinct
+		// bad requests must not pin memory.
+		s.forget(key, entry)
+		return nil, entry.err
+	}
+	return entry.prep.Exec(), nil
+}
+
+// runInsert applies a write plan under the exclusive lock. The mutation
+// invalidates every cached plan (materialized build sides and compiled
+// slice accessors may reference the grown table).
+func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	if err := plan.Check(p, s.db.Catalog()); err != nil {
+		return nil, err
+	}
+	res := s.db.Query(p)
+	s.invalidate()
+	return res, nil
+}
+
+// maxCachedPlans bounds the plan cache between catalog changes, so a
+// client streaming distinct plans (e.g. sweeping a filter constant)
+// cannot grow service memory without bound. Eviction is arbitrary-entry:
+// the cache is an optimization, and any evicted plan just recompiles.
+const maxCachedPlans = 1024
+
+// lookup returns the cache entry for key, creating it if needed. The
+// caller must hold the catalog lock (read is enough: entries are created
+// under planMu and compiled through their once).
+func (s *DB) lookup(key string) *cachedPlan {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	entry, ok := s.plans[key]
+	if ok {
+		s.stats.planHits.Add(1)
+	} else {
+		s.stats.planMisses.Add(1)
+		if len(s.plans) >= maxCachedPlans {
+			for k := range s.plans {
+				delete(s.plans, k)
+				break
+			}
+		}
+		entry = &cachedPlan{}
+		s.plans[key] = entry
+	}
+	return entry
+}
+
+// forget drops a cache entry that turned out not to be worth keeping
+// (validation failures), if it is still the one the key maps to.
+func (s *DB) forget(key string, entry *cachedPlan) {
+	s.planMu.Lock()
+	if s.plans[key] == entry {
+		delete(s.plans, key)
+	}
+	s.planMu.Unlock()
+}
+
+// invalidate drops every cached plan. Callers hold the write lock.
+func (s *DB) invalidate() {
+	s.planMu.Lock()
+	s.plans = map[string]*cachedPlan{}
+	s.planMu.Unlock()
+}
+
+// OptimizeLayouts runs the layout optimizer under the exclusive lock —
+// the serving analogue of core.DB.OptimizeLayouts — and invalidates the
+// plan cache, since compiled plans address the old partitions directly.
+func (s *DB) OptimizeLayouts() []core.LayoutChange {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	changes := s.db.OptimizeLayouts()
+	s.invalidate()
+	s.stats.relayouts.Add(1)
+	return changes
+}
+
+// AddWorkload declares workload entries for the optimizer (write lock:
+// it mutates shared DB state).
+func (s *DB) AddWorkload(name string, p plan.Node, frequency float64) {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	s.db.AddWorkload(name, p, frequency)
+}
+
+// TableInfo describes one served table.
+type TableInfo struct {
+	Name   string     `json:"name"`
+	Rows   int        `json:"rows"`
+	Layout string     `json:"layout"`
+	Attrs  []AttrInfo `json:"attrs"`
+}
+
+// AttrInfo is one attribute of a served table.
+type AttrInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Tables lists the catalog under the read lock.
+func (s *DB) Tables() []TableInfo {
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
+	c := s.db.Catalog()
+	names := c.Names()
+	out := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		rel := c.Table(name)
+		attrs := make([]AttrInfo, rel.Schema.Width())
+		for i, a := range rel.Schema.Attrs {
+			attrs[i] = AttrInfo{Name: a.Name, Type: a.Type.String()}
+		}
+		out = append(out, TableInfo{
+			Name:   name,
+			Rows:   rel.Rows(),
+			Layout: rel.Layout.Kind(),
+			Attrs:  attrs,
+		})
+	}
+	return out
+}
+
+// statsCounters are the service's atomic counters.
+type statsCounters struct {
+	queries    atomic.Int64
+	failed     atomic.Int64
+	queued     atomic.Int64
+	rejected   atomic.Int64
+	prepared   atomic.Int64
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	relayouts  atomic.Int64
+	rows       atomic.Int64
+	execNanos  atomic.Int64
+	inFlight   atomic.Int64
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Queries       int64 `json:"queries"`         // successfully executed
+	Failed        int64 `json:"failed"`          // validation/decode failures
+	Queued        int64 `json:"queued"`          // waited for an admission slot
+	Rejected      int64 `json:"rejected"`        // admission timeouts (ErrOverloaded)
+	Prepared      int64 `json:"prepared"`        // Prepare calls
+	PlanCacheHits int64 `json:"planCacheHits"`   // executions reusing a compiled plan
+	PlanCacheMiss int64 `json:"planCacheMisses"` // executions that compiled
+	Relayouts     int64 `json:"relayouts"`       // OptimizeLayouts runs
+	Rows          int64 `json:"rows"`            // total result rows served
+	ExecNanos     int64 `json:"execNanos"`       // summed wall time inside execution
+	InFlight      int64 `json:"inFlight"`        // currently executing
+	Workers       int   `json:"workers"`         // shared pool size (1 = serial)
+	MaxInFlight   int   `json:"maxInFlight"`     // admission bound
+}
+
+// Stats snapshots the counters.
+func (s *DB) Stats() Stats {
+	return Stats{
+		Queries:       s.stats.queries.Load(),
+		Failed:        s.stats.failed.Load(),
+		Queued:        s.stats.queued.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Prepared:      s.stats.prepared.Load(),
+		PlanCacheHits: s.stats.planHits.Load(),
+		PlanCacheMiss: s.stats.planMisses.Load(),
+		Relayouts:     s.stats.relayouts.Load(),
+		Rows:          s.stats.rows.Load(),
+		ExecNanos:     s.stats.execNanos.Load(),
+		InFlight:      s.stats.inFlight.Load(),
+		Workers:       s.opt.WorkerCount(),
+		MaxInFlight:   cap(s.sem),
+	}
+}
+
+// planKey computes the cache key: a digest of the plan's canonical JSON
+// encoding. Hashing keeps per-entry key memory constant — remote plans
+// can be megabytes — while equivalent plans still collide onto one entry.
+func planKey(p plan.Node) (string, error) {
+	data, err := plan.MarshalNode(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return string(sum[:]), nil
+}

@@ -90,6 +90,43 @@ func (d *Dict) MatchCodes(pred func(string) bool) *CodeSet {
 	return cs
 }
 
+// NewCodeSet builds a set holding exactly the given codes; n bounds the
+// code space (codes >= n never match, mirroring MatchCodes over an n-value
+// dictionary). Plan deserialization uses it to rebuild InSet predicates.
+func NewCodeSet(codes []Word, n int) *CodeSet {
+	if n < 0 {
+		n = 0
+	}
+	cs := &CodeSet{bits: make([]uint64, (n+63)/64), n: n}
+	for _, c := range codes {
+		if c < Word(n) {
+			cs.bits[c>>6] |= 1 << (c & 63)
+		}
+	}
+	return cs
+}
+
+// Codes returns the member codes in ascending order — the serializable
+// form of the set. It walks the bitset word-wise, skipping empty words,
+// so sparse sets over large code spaces (the common shape of a compiled
+// LIKE) cost O(space/64 + members), not O(space) — this runs on every
+// ad-hoc query's cache-key computation.
+func (cs *CodeSet) Codes() []Word {
+	out := make([]Word, 0, cs.Count())
+	for wi, w := range cs.bits {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, Word(wi*64+b))
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Size returns the bound of the set's code space (the dictionary length it
+// was compiled against).
+func (cs *CodeSet) Size() int { return cs.n }
+
 // Contains reports whether code c is in the set.
 func (cs *CodeSet) Contains(c Word) bool {
 	if c >= Word(cs.n) {

@@ -386,3 +386,30 @@ func TestPartitionGeometry(t *testing.T) {
 		t.Errorf("partition geometry wrong: stride=%d width=%d rows=%d", p.Stride, p.WidthBytes(), p.Rows())
 	}
 }
+
+func TestCodeSetCodesRoundTrip(t *testing.T) {
+	// Sparse membership over a large space: Codes must enumerate exactly
+	// the members, ascending, without walking every code.
+	members := []Word{0, 63, 64, 1000, 65535}
+	cs := NewCodeSet(members, 65536)
+	got := cs.Codes()
+	if len(got) != len(members) {
+		t.Fatalf("Codes() = %v, want %v", got, members)
+	}
+	for i, c := range members {
+		if got[i] != c {
+			t.Fatalf("Codes()[%d] = %d, want %d", i, got[i], c)
+		}
+	}
+	if cs.Count() != len(members) || cs.Size() != 65536 {
+		t.Fatalf("Count=%d Size=%d", cs.Count(), cs.Size())
+	}
+	for _, c := range members {
+		if !cs.Contains(c) {
+			t.Fatalf("Contains(%d) = false", c)
+		}
+	}
+	if cs.Contains(1) || cs.Contains(70000) {
+		t.Fatal("Contains accepted a non-member")
+	}
+}
