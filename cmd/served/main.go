@@ -3,15 +3,25 @@
 // prepared-plan cache, admission control) and serves JSON-over-HTTP.
 //
 //	served -addr :8080 -rows 1000000 -workers 0
+//	served -addr :8080 -data-dir ./data          # durable: snapshot + WAL
 //
 // Endpoints:
 //
-//	POST /query    {"plan": <plan JSON>}   run a plan
-//	POST /prepare  {"plan": <plan JSON>}   register a statement, get an id
-//	POST /exec     {"id": "s1"}            run a prepared statement
-//	POST /optimize {}                      run the layout optimizer (DDL path)
-//	GET  /tables                           list served tables
-//	GET  /stats                            service counters
+//	POST /query      {"plan": <plan JSON>}   run a plan
+//	POST /prepare    {"plan": <plan JSON>}   register a statement, get an id
+//	POST /exec       {"id": "s1"}            run a prepared statement
+//	POST /optimize   {}                      run the layout optimizer (DDL path)
+//	POST /load?table=T&format=csv            bulk-ingest the request body
+//	POST /checkpoint {}                      snapshot the catalog, reset the WAL
+//	GET  /tables                             list served tables
+//	GET  /stats                              service counters
+//
+// With -data-dir, the catalog (schemas, optimizer-chosen layouts,
+// partition data, dictionaries, index definitions) is recovered from the
+// directory's snapshot plus WAL on startup, and every insert, bulk load
+// and re-layout is logged. -restore=false wipes the directory's state
+// instead of recovering. A checkpoint runs automatically when the WAL
+// exceeds -checkpoint-wal-mb.
 //
 // The demo dataset is the paper's example relation R(A..P) with A uniform
 // over [0, 1e6), so the Figure 2 query
@@ -22,7 +32,9 @@
 //	            "cols": [1, 2, 3, 4]},
 //	  "aggs": [{"agg": "sum", "arg": {"expr": "col", "attr": 0, "type": "int64"}, "name": "sum_b"}]}}'
 //
-// selects at selectivity 0.01.
+// selects at selectivity 0.01. With -data-dir, the demo relation is
+// built only when the recovered catalog is empty (and -rows > 0), and is
+// checkpointed immediately so restarts recover it instead of rebuilding.
 package main
 
 import (
@@ -32,30 +44,74 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		rows        = flag.Int("rows", 1_000_000, "rows of the demo relation R")
+		rows        = flag.Int("rows", 1_000_000, "rows of the demo relation R (0 = no demo table)")
 		workers     = flag.Int("workers", 0, "shared worker pool size (0 = all cores, 1 = serial execution)")
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2x workers)")
 		queueWait   = flag.Duration("queue-timeout", time.Second, "max wait for an execution slot before 429")
+		dataDir     = flag.String("data-dir", "", "data directory for snapshot + WAL durability (empty = in-memory only)")
+		restore     = flag.Bool("restore", true, "with -data-dir: recover existing snapshot + WAL (false wipes them)")
+		fsync       = flag.Bool("fsync", false, "with -data-dir: fsync WAL commits and snapshots")
+		ckptWALMB   = flag.Int("checkpoint-wal-mb", 64, "with -data-dir: WAL size triggering a background checkpoint (<= 0 disables)")
 	)
 	flag.Parse()
 
-	log.Printf("loading demo relation R (%d rows, 16 int64 attributes)", *rows)
-	db := service.NewDemoDB(*rows)
-	service.DemoWorkload(db) // declared mix, so POST /optimize has something to optimize
+	var (
+		db  *core.DB
+		mgr *persist.Manager
+	)
+	if *dataDir != "" {
+		var err error
+		db, mgr, err = persist.Open(persist.Options{Dir: *dataDir, Fsync: *fsync, Fresh: !*restore})
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		defer mgr.Close()
+		if n := len(db.Catalog().Names()); n > 0 {
+			log.Printf("recovered %d table(s) from %s", n, *dataDir)
+		}
+	} else {
+		db = core.Open()
+	}
+
+	freshDemo := false
+	if len(db.Catalog().Names()) == 0 && *rows > 0 {
+		log.Printf("loading demo relation R (%d rows, 16 int64 attributes)", *rows)
+		service.LoadDemo(db, *rows)
+		freshDemo = true
+	}
+	if db.Catalog().Has("R") {
+		service.DemoWorkload(db) // declared mix, so POST /optimize has something to optimize
+	}
+
 	s := service.New(db, service.Config{
 		Workers:      *workers,
 		MaxInFlight:  *maxInFlight,
 		QueueTimeout: *queueWait,
 	})
 	defer s.Close()
+	if mgr != nil {
+		threshold := int64(*ckptWALMB) << 20
+		if *ckptWALMB <= 0 {
+			threshold = -1
+		}
+		s.AttachPersist(mgr, threshold)
+		if freshDemo {
+			if _, err := s.Checkpoint(); err != nil {
+				log.Fatalf("initial checkpoint: %v", err)
+			}
+		}
+	}
 
 	st := s.Stats()
-	fmt.Printf("served: listening on %s (workers=%d, max in-flight=%d)\n", *addr, st.Workers, st.MaxInFlight)
+	fmt.Printf("served: listening on %s (workers=%d, max in-flight=%d, durable=%v)\n",
+		*addr, st.Workers, st.MaxInFlight, st.Persistent)
 	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
 }

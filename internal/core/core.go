@@ -201,6 +201,22 @@ func (db *DB) OptimizeLayouts() []LayoutChange {
 	return changes
 }
 
+// ApplyLayout materializes table under the given layout unconditionally —
+// no cost comparison — and rebuilds its registered indexes. It is the
+// replay path of the persistence layer: a logged re-layout decision is
+// re-applied verbatim on recovery, so the restored physical design matches
+// what the optimizer picked, not what a replayed optimization over a
+// different intermediate state would pick.
+func (db *DB) ApplyLayout(table string, l storage.Layout) {
+	rel := db.catalog.Table(table)
+	if rel.Layout.Equal(l) {
+		return
+	}
+	relaid := rel.WithLayout(l)
+	db.catalog.Add(relaid)
+	rebuildIndexes(db.catalog, table, relaid)
+}
+
 func rebuildIndexes(c *plan.Catalog, table string, rel *storage.Relation) {
 	for attr := 0; attr < rel.Schema.Width(); attr++ {
 		if idx := c.Index(table, attr); idx != nil {

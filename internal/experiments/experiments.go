@@ -138,6 +138,7 @@ func ByID(id string) func(Options) *Report {
 		"ablation-costfn": AblationCostFunction,
 		"ablation-cuts":   AblationCuts,
 		"ablation-sparse": AblationSparse,
+		"ingest":          Ingest,
 	}
 	return m[id]
 }
@@ -146,7 +147,7 @@ func ByID(id string) func(Options) *Report {
 func IDs() []string {
 	ids := []string{
 		"fig3", "fig6", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5",
-		"ablation-costfn", "ablation-cuts", "ablation-sparse",
+		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest",
 	}
 	sort.Strings(ids)
 	return ids

@@ -1,0 +1,48 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeSnapshot asserts the snapshot decoder's contract on
+// arbitrary input: it never panics, and every rejection is one of the
+// named sentinel errors — corrupt headers, checksums and structures get
+// diagnosable failures, not crashes.
+func FuzzDecodeSnapshot(f *testing.F) {
+	db := buildTestDB(f, 60)
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, db, 0); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:16])
+	f.Add(good[:len(good)-3])
+	f.Add([]byte("PDSMSNP1"))
+	f.Add([]byte{})
+	// A few deterministic corruptions as seeds.
+	for _, off := range []int{0, 8, 12, 20, len(good) / 2, len(good) - 1} {
+		mut := append([]byte(nil), good...)
+		mut[off] ^= 0x55
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(bytes.NewReader(data))
+		if err == nil {
+			// Accepted input must be well-formed enough to re-encode.
+			for _, tab := range snap.Tables {
+				_ = encodeTable(tab)
+			}
+			return
+		}
+		for _, sentinel := range []error{ErrBadMagic, ErrBadVersion, ErrChecksum, ErrTruncated, ErrCorrupt} {
+			if errors.Is(err, sentinel) {
+				return
+			}
+		}
+		t.Fatalf("decode error %v is not a named sentinel", err)
+	})
+}

@@ -1,0 +1,256 @@
+// Package persist is the durability layer of the engine: it makes the
+// optimizer-chosen physical layouts — the asset the whole system manages —
+// survive process restarts.
+//
+// Two artifacts live in the data directory:
+//
+//   - snapshot.db — a layout-aware binary checkpoint of the full catalog:
+//     schemas, the exact storage.Layout partitionings, partition word
+//     data, dictionaries and index definitions, each table section
+//     CRC-checked. A restore is bit-identical: same Parts strides and
+//     offsets, same dictionary codes.
+//   - wal.log — an append-only log of the mutations since the snapshot:
+//     inserts, table creations (bulk loads), re-layout decisions and index
+//     creations. Recovery is snapshot + WAL replay; a torn final record
+//     (the write in flight at the crash) is discarded.
+//
+// Durability contract: WAL records are buffered and flushed at each
+// commit boundary (one flush per logical batch — group commit); with
+// Options.Fsync they are also fsync'd, making every committed batch
+// crash-durable. Snapshots are always written to a temp file, fsync'd and
+// atomically renamed, so a crash mid-checkpoint leaves the previous
+// snapshot intact. Without Fsync, a kernel crash can lose the tail of the
+// WAL that the OS had not written back; a plain process kill (SIGKILL)
+// loses nothing that was committed.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+const (
+	snapshotFile = "snapshot.db"
+	walFile      = "wal.log"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Fsync makes WAL commits and snapshots fsync before returning.
+	Fsync bool
+	// Fresh discards any existing snapshot and WAL instead of recovering
+	// from them.
+	Fresh bool
+}
+
+// Manager owns the durability state of one database: the WAL append side
+// and the checkpoint procedure. The caller is responsible for mutual
+// exclusion between loggers and Checkpoint — the service layer provides
+// it with its catalog RWMutex (loggers run under the write lock,
+// Checkpoint under the read lock, which excludes writers while queries
+// keep running).
+type Manager struct {
+	dir   string
+	fsync bool
+
+	mu sync.Mutex // serializes WAL file operations against rotation
+	w  *wal
+
+	epoch       uint64 // current checkpoint epoch (snapshot and WAL agree)
+	checkpoints int64
+}
+
+// Open recovers (or initializes) a database from the data directory and
+// returns it together with the Manager that logs its future mutations.
+func Open(opts Options) (*core.DB, *Manager, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("persist: empty data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	snapPath := filepath.Join(opts.Dir, snapshotFile)
+	walPath := filepath.Join(opts.Dir, walFile)
+	if opts.Fresh {
+		for _, p := range []string{snapPath, walPath} {
+			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, nil, err
+			}
+		}
+	}
+
+	db := core.Open()
+	var epoch uint64
+	if f, err := os.Open(snapPath); err == nil {
+		restored, snapEpoch, rerr := restoreSnapshot(f)
+		f.Close()
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("persist: reading %s: %w", snapPath, rerr)
+		}
+		db, epoch = restored, snapEpoch
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	if _, err := replayWAL(walPath, db, epoch); err != nil {
+		return nil, nil, err
+	}
+	w, err := openWAL(walPath, opts.Fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, &Manager{dir: opts.Dir, fsync: opts.Fsync, w: w, epoch: epoch}, nil
+}
+
+// Close flushes and closes the WAL.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.w.close()
+}
+
+// WALSize returns the current WAL length in bytes (committed plus
+// buffered) — the checkpoint trigger metric. A WAL holding no mutations
+// is empty; the first commit writes the leading epoch record.
+func (m *Manager) WALSize() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.w.size
+}
+
+// Epoch returns the current checkpoint epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Checkpoints returns how many checkpoints completed.
+func (m *Manager) Checkpoints() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpoints
+}
+
+// LogInsert records appended tuples (in schema attribute order).
+func (m *Manager) LogInsert(table string, width int, rows [][]storage.Word) error {
+	return m.commit(walInsertBody(table, width, rows))
+}
+
+// LogCreateTable records a table creation with its current content —
+// normally logged right after the table is created, while it is empty or
+// holds only its initial load.
+func (m *Manager) LogCreateTable(c *plan.Catalog, table string) error {
+	return m.commit(walCreateTableBody(SnapTable(c, table)))
+}
+
+// LogRelayout records an optimizer re-layout decision.
+func (m *Manager) LogRelayout(table string, l storage.Layout) error {
+	return m.commit(walRelayoutBody(table, l))
+}
+
+// LogCreateIndex records an index creation.
+func (m *Manager) LogCreateIndex(table string, attr int, kind string) error {
+	return m.commit(walCreateIndexBody(table, attr, kind))
+}
+
+// LogDictAppend records dictionary growth (new string values appended by
+// a bulk load, in code order). Log it before the insert whose rows carry
+// the new codes.
+func (m *Manager) LogDictAppend(table string, attr int, values []string) error {
+	return m.commit(walDictAppendBody(table, attr, values))
+}
+
+// commit appends one record and makes the batch durable (group commit:
+// the record plus anything buffered before it). A WAL that was just
+// reset (or newly created) receives its leading epoch record in the
+// same commit — lazily, so an earlier failed stamp attempt can never
+// leave mutation records in a headerless log.
+func (m *Manager) commit(body []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.w.stamped {
+		if err := m.w.append(walEpochBody(m.epoch)); err != nil {
+			return err
+		}
+		m.w.stamped = true
+	}
+	if err := m.w.append(body); err != nil {
+		return err
+	}
+	return m.w.commit()
+}
+
+// CheckpointInfo reports what a checkpoint did.
+type CheckpointInfo struct {
+	SnapshotBytes int64 // size of the written snapshot
+	WALBytes      int64 // WAL bytes made redundant and dropped
+}
+
+// Checkpoint writes a snapshot of db's full catalog and resets the WAL.
+// The caller must hold a lock that excludes mutations (the service's
+// catalog read lock suffices: queries share it, writers are excluded).
+//
+// Crash safety: the snapshot is written to a temp file, fsync'd and
+// atomically renamed (followed by a directory fsync in fsync mode, so
+// the rename itself is durable before the WAL is touched); it carries
+// the next epoch, so if the process dies between the rename and the WAL
+// reset, recovery sees a lower-epoch WAL and discards it instead of
+// replaying records the snapshot already contains.
+func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
+	next := m.Epoch() + 1
+	tmp, err := os.CreateTemp(m.dir, snapshotFile+".tmp-*")
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	n, err := WriteSnapshot(tmp, db, next)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(m.dir, snapshotFile)); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if m.fsync {
+		// Persist the rename's directory entry before dropping the WAL,
+		// or a power loss could keep the truncation but lose the rename.
+		if err := syncDir(m.dir); err != nil {
+			return CheckpointInfo{}, fmt.Errorf("persist: syncing data dir: %w", err)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped := m.w.size
+	if err := m.w.reset(); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("persist: resetting WAL: %w", err)
+	}
+	// The new epoch is stamped lazily by the next commit; an empty WAL
+	// needs no header (recovery of snapshot + empty WAL is trivially
+	// consistent).
+	m.epoch = next
+	m.checkpoints++
+	return CheckpointInfo{SnapshotBytes: n, WALBytes: dropped}, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

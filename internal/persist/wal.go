@@ -1,0 +1,439 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// The WAL is an append-only log of the mutations that happened after the
+// last checkpoint. Record framing:
+//
+//	length uint32  length of the body
+//	crc    uint32  IEEE CRC-32 of the body
+//	body   = type byte + payload
+//
+// Replay applies records in order until the file ends. A final record
+// that is truncated or fails its CRC is a torn tail — the write that was
+// in flight when the process died — and is discarded (the file is
+// truncated back to the last good record), which is the standard WAL
+// contract: a mutation is durable once its record is fully on disk.
+//
+// Record types:
+//
+//	walInsert       table, width, row words — appended tuples
+//	walCreateTable  a full table payload (encodeTable) — DDL from /load
+//	walRelayout     table, layout groups — an optimizer decision
+//	walCreateIndex  table, attr, kind
+//	walDictAppend   table, attr, new string values — dictionary growth
+//	                from a bulk load; logged before the insert whose rows
+//	                use the new codes, so replay assigns identical codes
+//	walEpoch        checkpoint epoch — always the first record of a WAL;
+//	                recovery replays the log only when it matches the
+//	                snapshot's epoch (see the snapshot format comment)
+const (
+	walInsert      byte = 1
+	walCreateTable byte = 2
+	walRelayout    byte = 3
+	walCreateIndex byte = 4
+	walDictAppend  byte = 5
+	walEpoch       byte = 6
+)
+
+// ErrWALCorrupt reports a WAL record that is corrupt in the middle of the
+// file — valid records follow it, so this is damage, not a torn tail.
+var ErrWALCorrupt = errors.New("persist: corrupt WAL record")
+
+// wal is the append side of the log. Appends go through a buffered
+// writer; commit flushes the buffer (and fsyncs when configured), which
+// is the group-commit boundary: a batch of records — a bulk-load batch, a
+// multi-row insert — costs one flush and at most one fsync.
+type wal struct {
+	f     *os.File
+	bw    *bufio.Writer
+	size  int64
+	fsync bool
+	// stamped reports whether the leading epoch record is on disk. It is
+	// written lazily, together with the first mutation record after a
+	// reset, so a failed stamp can never leave mutation records in a
+	// headerless (unrecoverable) log.
+	stamped bool
+}
+
+func openWAL(path string, fsync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// A non-empty WAL necessarily starts with its epoch record (replay
+	// validated that before we got here); an empty one is stamped with
+	// the first commit.
+	return &wal{f: f, bw: bufio.NewWriterSize(f, 1<<20), size: st.Size(), fsync: fsync, stamped: st.Size() > 0}, nil
+}
+
+// append buffers one framed record; it becomes durable at the next
+// commit.
+func (w *wal) append(body []byte) error {
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	if _, err := w.bw.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		return err
+	}
+	w.size += int64(len(frame) + len(body))
+	return nil
+}
+
+// commit flushes buffered records to the file, fsyncing when the WAL was
+// opened in fsync mode.
+func (w *wal) commit() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.fsync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// reset discards the log content (after a checkpoint made it redundant).
+func (w *wal) reset() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = 0
+	w.stamped = false
+	if w.fsync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Record body builders.
+
+func walInsertBody(table string, width int, rows [][]storage.Word) []byte {
+	e := &enc{buf: []byte{walInsert}}
+	e.str(table)
+	e.uvarint(uint64(width))
+	e.uvarint(uint64(len(rows)))
+	for _, row := range rows {
+		off := len(e.buf)
+		e.buf = append(e.buf, make([]byte, 8*width)...)
+		for _, w := range row {
+			binary.LittleEndian.PutUint64(e.buf[off:], w)
+			off += 8
+		}
+	}
+	return e.buf
+}
+
+func walCreateTableBody(t *TableSnap) []byte {
+	return append([]byte{walCreateTable}, encodeTable(t)...)
+}
+
+func walRelayoutBody(table string, l storage.Layout) []byte {
+	e := &enc{buf: []byte{walRelayout}}
+	e.str(table)
+	e.uvarint(uint64(len(l.Groups)))
+	for _, g := range l.Groups {
+		e.uvarint(uint64(len(g)))
+		for _, a := range g {
+			e.uvarint(uint64(a))
+		}
+	}
+	return e.buf
+}
+
+func walCreateIndexBody(table string, attr int, kind string) []byte {
+	e := &enc{buf: []byte{walCreateIndex}}
+	e.str(table)
+	e.uvarint(uint64(attr))
+	e.str(kind)
+	return e.buf
+}
+
+func walDictAppendBody(table string, attr int, values []string) []byte {
+	e := &enc{buf: []byte{walDictAppend}}
+	e.str(table)
+	e.uvarint(uint64(attr))
+	e.uvarint(uint64(len(values)))
+	for _, v := range values {
+		e.str(v)
+	}
+	return e.buf
+}
+
+func walEpochBody(epoch uint64) []byte {
+	e := &enc{buf: []byte{walEpoch}}
+	e.uvarint(epoch)
+	return e.buf
+}
+
+// replayWAL applies the log at path to db, given the epoch of the
+// snapshot the database was restored from. It returns the number of
+// records applied.
+//
+//   - A WAL whose leading epoch record matches snapEpoch is replayed; a
+//     torn tail (partial final record) is truncated away.
+//   - A WAL with a LOWER epoch is a leftover from a checkpoint that
+//     crashed between the snapshot rename and the WAL reset: its records
+//     are already inside the snapshot, so it is discarded wholesale
+//     instead of replayed as duplicates.
+//   - A HIGHER epoch (or corruption followed by further valid data)
+//     returns ErrWALCorrupt — the log cannot be trusted.
+func replayWAL(path string, db *core.DB, snapEpoch uint64) (int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	off := 0
+	goodEnd := 0
+	first := true
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break // torn frame header
+		}
+		blen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if len(data)-off-8 < blen {
+			break // torn body
+		}
+		body := data[off+8 : off+8+blen]
+		if crc32.ChecksumIEEE(body) != crc {
+			// A CRC failure on the last record is a torn write; earlier it
+			// means the file is damaged.
+			if off+8+blen < len(data) {
+				return applied, fmt.Errorf("%w: record at offset %d", ErrWALCorrupt, off)
+			}
+			break
+		}
+		if first {
+			first = false
+			epoch, err := decodeEpochRecord(body)
+			if err != nil {
+				return 0, err
+			}
+			switch {
+			case epoch == snapEpoch:
+				// This WAL continues the restored snapshot: replay it.
+			case epoch < snapEpoch:
+				// Stale pre-checkpoint log; its effects are in the
+				// snapshot already. Discard it.
+				if err := os.Truncate(path, 0); err != nil {
+					return 0, fmt.Errorf("persist: discarding stale WAL: %w", err)
+				}
+				return 0, nil
+			default:
+				return 0, fmt.Errorf("%w: WAL epoch %d newer than snapshot epoch %d",
+					ErrWALCorrupt, epoch, snapEpoch)
+			}
+		} else if err := applyRecord(db, body); err != nil {
+			return applied, fmt.Errorf("persist: WAL record at offset %d: %w", off, err)
+		} else {
+			applied++
+		}
+		off += 8 + blen
+		goodEnd = off
+	}
+	if goodEnd < len(data) {
+		if err := os.Truncate(path, int64(goodEnd)); err != nil {
+			return applied, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+	}
+	return applied, nil
+}
+
+// decodeEpochRecord decodes the mandatory leading epoch record.
+func decodeEpochRecord(body []byte) (uint64, error) {
+	if len(body) == 0 || body[0] != walEpoch {
+		return 0, fmt.Errorf("%w: WAL does not start with an epoch record", ErrWALCorrupt)
+	}
+	d := &dec{buf: body[1:]}
+	return d.uvarint()
+}
+
+// applyRecord replays one decoded record body against db.
+func applyRecord(db *core.DB, body []byte) error {
+	if len(body) == 0 {
+		return fmt.Errorf("%w: empty body", ErrWALCorrupt)
+	}
+	typ, payload := body[0], body[1:]
+	switch typ {
+	case walInsert:
+		d := &dec{buf: payload}
+		table, err := d.str()
+		if err != nil {
+			return err
+		}
+		width, err := d.count("insert width")
+		if err != nil {
+			return err
+		}
+		n, err := d.count("insert row")
+		if err != nil {
+			return err
+		}
+		if len(d.buf)-d.off != 8*width*n {
+			return fmt.Errorf("%w: insert holds %d bytes, want %d", ErrWALCorrupt, len(d.buf)-d.off, 8*width*n)
+		}
+		if !db.Catalog().Has(table) {
+			return fmt.Errorf("%w: insert into unknown table %q", ErrWALCorrupt, table)
+		}
+		if w := db.Catalog().Table(table).Schema.Width(); w != width {
+			return fmt.Errorf("%w: insert width %d into width-%d table %q", ErrWALCorrupt, width, w, table)
+		}
+		rows := make([][]storage.Word, n)
+		for i := range rows {
+			row := make([]storage.Word, width)
+			for j := range row {
+				row[j] = binary.LittleEndian.Uint64(d.buf[d.off:])
+				d.off += 8
+			}
+			rows[i] = row
+		}
+		exec.RunInsert(plan.Insert{Table: table, Rows: rows}, db.Catalog())
+		return nil
+	case walCreateTable:
+		t, err := decodeTable(payload)
+		if err != nil {
+			return err
+		}
+		return t.Restore(db)
+	case walRelayout:
+		d := &dec{buf: payload}
+		table, err := d.str()
+		if err != nil {
+			return err
+		}
+		groups, err := d.count("layout group")
+		if err != nil {
+			return err
+		}
+		l := storage.Layout{Groups: make([][]int, groups)}
+		for gi := range l.Groups {
+			glen, err := d.count("group attribute")
+			if err != nil {
+				return err
+			}
+			g := make([]int, glen)
+			for i := range g {
+				a, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				g[i] = int(a)
+			}
+			l.Groups[gi] = g
+		}
+		if !db.Catalog().Has(table) {
+			return fmt.Errorf("%w: relayout of unknown table %q", ErrWALCorrupt, table)
+		}
+		if err := l.Validate(db.Catalog().Table(table).Schema.Width()); err != nil {
+			return fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+		}
+		db.ApplyLayout(table, l)
+		return nil
+	case walDictAppend:
+		d := &dec{buf: payload}
+		table, err := d.str()
+		if err != nil {
+			return err
+		}
+		attr, err := d.count("dict attribute")
+		if err != nil {
+			return err
+		}
+		n, err := d.count("dict value")
+		if err != nil {
+			return err
+		}
+		if !db.Catalog().Has(table) {
+			return fmt.Errorf("%w: dict append to unknown table %q", ErrWALCorrupt, table)
+		}
+		rel := db.Catalog().Table(table)
+		if attr >= rel.Schema.Width() || rel.Schema.Attrs[attr].Type != storage.String {
+			return fmt.Errorf("%w: dict append to non-string attribute %d of %q", ErrWALCorrupt, attr, table)
+		}
+		dict := rel.Dicts[attr]
+		if dict == nil {
+			dict = storage.BuildDict(nil)
+			rel.Dicts[attr] = dict
+		}
+		for i := 0; i < n; i++ {
+			v, err := d.str()
+			if err != nil {
+				return err
+			}
+			dict.AppendCode(v)
+		}
+		return nil
+	case walCreateIndex:
+		d := &dec{buf: payload}
+		table, err := d.str()
+		if err != nil {
+			return err
+		}
+		attr, err := d.count("index attribute")
+		if err != nil {
+			return err
+		}
+		kind, err := d.str()
+		if err != nil {
+			return err
+		}
+		if !db.Catalog().Has(table) {
+			return fmt.Errorf("%w: index on unknown table %q", ErrWALCorrupt, table)
+		}
+		if attr >= db.Catalog().Table(table).Schema.Width() {
+			return fmt.Errorf("%w: index on attribute %d of table %q", ErrWALCorrupt, attr, table)
+		}
+		switch kind {
+		case "hash":
+			db.CreateHashIndex(table, attr)
+		case "rbtree":
+			db.CreateTreeIndex(table, attr)
+		default:
+			return fmt.Errorf("%w: unknown index kind %q", ErrWALCorrupt, kind)
+		}
+		return nil
+	case walEpoch:
+		return fmt.Errorf("%w: epoch record in the middle of the log", ErrWALCorrupt)
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrWALCorrupt, typ)
+	}
+}

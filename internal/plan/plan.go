@@ -77,6 +77,32 @@ func (c *Catalog) Index(table string, attr int) index.Index {
 	return c.indexes[table][attr]
 }
 
+// IndexDef names one registered index: the attribute it covers and the
+// structure kind ("hash" or "rbtree") — the serializable identity of an
+// index (the structure itself is rebuilt from table data on restore).
+type IndexDef struct {
+	Attr int
+	Kind string
+}
+
+// IndexDefs lists the indexes registered on a table in attribute order.
+func (c *Catalog) IndexDefs(table string) []IndexDef {
+	m := c.indexes[table]
+	if len(m) == 0 {
+		return nil
+	}
+	attrs := make([]int, 0, len(m))
+	for a := range m {
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	out := make([]IndexDef, len(attrs))
+	for i, a := range attrs {
+		out[i] = IndexDef{Attr: a, Kind: m[a].Kind()}
+	}
+	return out
+}
+
 // Node is a logical plan operator.
 type Node interface{ isNode() }
 
@@ -155,10 +181,15 @@ func (Sort) isNode()      {}
 func (Limit) isNode()     {}
 func (Insert) isNode()    {}
 
-// Column describes one output column of a plan node.
+// Column describes one output column of a plan node. String columns that
+// descend untransformed from a base table carry that table's dictionary,
+// so result consumers (the HTTP layer, result.Set.Format) can decode
+// codes back to strings; Dict is nil when the provenance is lost (e.g. a
+// computed expression) and for non-string columns.
 type Column struct {
 	Name string
 	Type storage.Type
+	Dict *storage.Dict
 }
 
 // Output computes the output schema of a plan node.
@@ -168,12 +199,13 @@ func Output(n Node, c *Catalog) []Column {
 		rel := c.Table(v.Table)
 		out := make([]Column, len(v.Cols))
 		for i, a := range v.Cols {
-			out[i] = Column{Name: rel.Schema.Attrs[a].Name, Type: rel.Schema.Attrs[a].Type}
+			out[i] = Column{Name: rel.Schema.Attrs[a].Name, Type: rel.Schema.Attrs[a].Type, Dict: rel.Dicts[a]}
 		}
 		return out
 	case Select:
 		return Output(v.Child, c)
 	case Project:
+		child := Output(v.Child, c)
 		out := make([]Column, len(v.Exprs))
 		for i, e := range v.Exprs {
 			name := ""
@@ -181,6 +213,10 @@ func Output(n Node, c *Catalog) []Column {
 				name = v.Names[i]
 			}
 			out[i] = Column{Name: name, Type: e.Type()}
+			// A bare column reference keeps its dictionary.
+			if col, ok := e.(expr.Col); ok && col.Attr >= 0 && col.Attr < len(child) {
+				out[i].Dict = child[col.Attr].Dict
+			}
 		}
 		return out
 	case HashJoin:
@@ -192,7 +228,15 @@ func Output(n Node, c *Catalog) []Column {
 			out = append(out, child[g])
 		}
 		for _, a := range v.Aggs {
-			out = append(out, Column{Name: a.Name, Type: a.ResultType()})
+			col := Column{Name: a.Name, Type: a.ResultType()}
+			// Min/max of a string column yield codes of that column's
+			// dictionary.
+			if a.Kind == expr.Min || a.Kind == expr.Max {
+				if argCol, ok := a.Arg.(expr.Col); ok && argCol.Attr >= 0 && argCol.Attr < len(child) {
+					col.Dict = child[argCol.Attr].Dict
+				}
+			}
+			out = append(out, col)
 		}
 		return out
 	case Sort:

@@ -14,6 +14,14 @@ import (
 // fixture — so `A < s*1e6` has selectivity s. cmd/served, the examples and
 // the throughput benchmark all serve this database.
 func NewDemoDB(rows int) *core.DB {
+	db := core.Open()
+	LoadDemo(db, rows)
+	return db
+}
+
+// LoadDemo creates the demo relation R on an existing (possibly
+// persistence-backed) database.
+func LoadDemo(db *core.DB, rows int) {
 	attrs := make([]storage.Attribute, 16)
 	for i := range attrs {
 		attrs[i] = storage.Attribute{Name: string(rune('A' + i)), Type: storage.Int64}
@@ -31,9 +39,7 @@ func NewDemoDB(rows int) *core.DB {
 		}
 		b.SetInts(a, col)
 	}
-	db := core.Open()
 	db.CreateTable(b)
-	return db
 }
 
 // DemoQuery is the example query at a given selectivity:

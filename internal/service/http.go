@@ -15,18 +15,27 @@ import (
 
 // HTTP front-end: a plain JSON-over-HTTP surface for the service.
 //
-//	POST /query    {"plan": <plan JSON>}          -> result
-//	POST /prepare  {"plan": <plan JSON>}          -> {"id": "s1", "cols": [...]}
-//	POST /exec     {"id": "s1"}                   -> result
-//	POST /optimize {}                             -> layout changes
-//	GET  /tables                                  -> catalog listing
-//	GET  /stats                                   -> service counters
+//	POST /query      {"plan": <plan JSON>}          -> result
+//	POST /prepare    {"plan": <plan JSON>}          -> {"id": "s1", "cols": [...]}
+//	POST /exec       {"id": "s1"}                   -> result
+//	POST /optimize   {}                             -> layout changes
+//	POST /load?table=T&format=csv[&create=...]      -> bulk-ingest the body
+//	POST /checkpoint {}                             -> snapshot + WAL reset
+//	GET  /tables                                    -> catalog listing
+//	GET  /stats                                     -> service counters
 //
 // Results decode words by column type: int64/float64/bool become JSON
-// numbers/booleans, string columns stay dictionary codes (plans address
-// attributes positionally; the response's cols carry the types). NULL is
-// JSON null. Malformed plans get a 400 whose error names the offending
-// field; admission rejections get a 429.
+// numbers/booleans; string columns whose provenance is a base table
+// decode through that table's dictionary to real strings, computed
+// string expressions without a dictionary stay codes. NULL is JSON null.
+// Malformed plans get a 400 whose error names the offending field;
+// admission rejections get a 429.
+//
+// /load streams the request body (CSV rows or NDJSON arrays) into a
+// table, batch-wise, so the body is not size-limited like plan requests.
+// Query parameters: table (required), format=csv|ndjson (default csv),
+// create=name:type,... (create the table first), layout=row|column (for
+// create, default row).
 
 const maxRequestBytes = 8 << 20 // plans and insert batches, not bulk loads
 
@@ -37,6 +46,8 @@ func (s *DB) Handler() http.Handler {
 	mux.HandleFunc("/prepare", s.handlePrepare)
 	mux.HandleFunc("/exec", s.handleExec)
 	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/load", s.handleLoad)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -152,6 +163,65 @@ func (s *DB) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"changes": out})
 }
 
+func (s *DB) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	q := r.URL.Query()
+	spec := LoadSpec{
+		Table:      q.Get("table"),
+		Format:     q.Get("format"),
+		CreateSpec: q.Get("create"),
+		Layout:     q.Get("layout"),
+	}
+	if spec.Format == "" {
+		spec.Format = "csv"
+	}
+	start := time.Now()
+	res, err := s.Load(spec, r.Body)
+	if err != nil {
+		// Client mistakes (bad spec, unparsable rows) are 400s; a WAL
+		// failure after rows were applied is a server fault — retrying
+		// the load would duplicate them. Either way the response names
+		// how many rows were already durably applied, so callers can
+		// resume the stream instead of re-sending it.
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDurability) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, map[string]any{
+			"error": err.Error(), "table": res.Table, "rowsApplied": res.Rows,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table": res.Table, "rows": res.Rows, "created": res.Created,
+		"micros": time.Since(start).Microseconds(),
+	})
+}
+
+func (s *DB) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	start := time.Now()
+	info, err := s.Checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoPersistence) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshotBytes": info.SnapshotBytes, "walBytesDropped": info.WALBytes,
+		"micros": time.Since(start).Microseconds(),
+	})
+}
+
 func (s *DB) handleTables(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -191,14 +261,18 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// writeQueryError maps service errors onto status codes: overload to 429,
+// writeQueryError maps service errors onto status codes: overload to
+// 429, durability failures (mutation applied, WAL write failed) to 500,
 // everything else (decode/validation) to 400.
 func writeQueryError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrOverloaded) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
 		writeError(w, http.StatusTooManyRequests, err)
-		return
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
 	}
-	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -218,16 +292,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // encodeResult renders a result set with words decoded by column type.
+// String columns carrying a dictionary (those descending untransformed
+// from a base table — plan.Output threads the reference) decode to real
+// strings; a dictionary value table published before the decode covers
+// every code in the result, so this is safe after the catalog lock is
+// released even while loads append new values.
 func encodeResult(res *result.Set, took time.Duration) resultJSON {
 	cols := make([]colJSON, len(res.Cols))
+	dicts := make([][]string, len(res.Cols))
 	for i, c := range res.Cols {
 		cols[i] = colJSON{Name: c.Name, Type: c.Type.String()}
+		if c.Type == storage.String && c.Dict != nil {
+			dicts[i] = c.Dict.Values()
+		}
 	}
 	rows := make([][]any, len(res.Rows))
 	for i, r := range res.Rows {
 		row := make([]any, len(r))
 		for j, word := range r {
-			row[j] = decodeWord(word, colType(res.Cols, j))
+			row[j] = decodeWord(word, colType(res.Cols, j), dictValues(dicts, j))
 		}
 		rows[i] = row
 	}
@@ -241,7 +324,14 @@ func colType(cols []plan.Column, j int) storage.Type {
 	return storage.Int64
 }
 
-func decodeWord(w storage.Word, t storage.Type) any {
+func dictValues(dicts [][]string, j int) []string {
+	if j < len(dicts) {
+		return dicts[j]
+	}
+	return nil
+}
+
+func decodeWord(w storage.Word, t storage.Type, dict []string) any {
 	if w == storage.Null {
 		return nil
 	}
@@ -252,7 +342,10 @@ func decodeWord(w storage.Word, t storage.Type) any {
 		return storage.DecodeFloat(w)
 	case storage.Bool:
 		return storage.DecodeBool(w)
-	default: // String: dictionary code (positional plans carry no dict)
-		return w
+	default: // String
+		if int(w) < len(dict) {
+			return dict[w]
+		}
+		return w // computed expression without provenance: raw code
 	}
 }

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/exec"
+	"repro/internal/persist"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Bulk ingestion: the streaming counterpart of plan.Insert. Rows arrive
+// as CSV or NDJSON, are parsed outside the catalog lock, and enter the
+// table batch-by-batch under the write lock — dictionary encoding,
+// index maintenance, plan-cache invalidation and WAL logging happen per
+// batch, so a gigabyte load never holds the catalog lock for more than
+// one batch and concurrent queries interleave with it.
+
+// loadBatchRows is the ingest batch size: large enough to amortize lock
+// acquisition and WAL commit, small enough to bound lock hold time.
+const loadBatchRows = 4096
+
+// LoadSpec describes one bulk load.
+type LoadSpec struct {
+	// Table is the target table name.
+	Table string
+	// Format is "csv" or "ndjson".
+	Format string
+	// CreateSpec, when non-empty, creates the table first from a
+	// "name:type,..." column list. Required if the table does not exist.
+	CreateSpec string
+	// Layout picks the created table's partitioning: "row" (default) or
+	// "column".
+	Layout string
+}
+
+// LoadResult reports a finished bulk load.
+type LoadResult struct {
+	Table   string `json:"table"`
+	Rows    int    `json:"rows"`
+	Created bool   `json:"created"`
+}
+
+// Load streams rows from r into a table. Creating the table (when
+// CreateSpec is set) is DDL and is WAL-logged; every ingested batch is
+// logged like an insert, so a crash mid-load recovers every committed
+// batch. Queries run concurrently with the load and see the table grow
+// batch-wise.
+func (s *DB) Load(spec LoadSpec, r io.Reader) (LoadResult, error) {
+	res := LoadResult{Table: spec.Table}
+	if spec.Table == "" {
+		return res, errors.New("service: load needs a table name")
+	}
+	if spec.Format != "csv" && spec.Format != "ndjson" {
+		return res, fmt.Errorf("service: load format %q (want csv or ndjson)", spec.Format)
+	}
+
+	rel, created, err := s.loadTarget(spec)
+	if err != nil {
+		return res, err
+	}
+	res.Created = created
+
+	var br persist.BatchReader
+	if spec.Format == "csv" {
+		br = persist.NewCSVReader(r, rel.Schema.Width())
+	} else {
+		br = persist.NewNDJSONReader(r, rel.Schema.Width())
+	}
+
+	width := rel.Schema.Width()
+	for {
+		raw, err := br.ReadBatch(loadBatchRows)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		if err := s.applyLoadBatch(spec.Table, width, raw); err != nil {
+			return res, err
+		}
+		res.Rows += len(raw)
+		// Check the WAL threshold per batch, not per load: a multi-GB
+		// stream must checkpoint along the way (safe because each batch
+		// releases the write lock).
+		s.maybeCheckpointAsync()
+	}
+	s.stats.loads.Add(1)
+	s.stats.loadedRows.Add(int64(res.Rows))
+	return res, nil
+}
+
+// loadTarget resolves (or creates) the target relation under the write
+// lock.
+func (s *DB) loadTarget(spec LoadSpec) (*storage.Relation, bool, error) {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	if s.db.Catalog().Has(spec.Table) {
+		if spec.CreateSpec != "" {
+			return nil, false, fmt.Errorf("service: table %q already exists, drop the create spec", spec.Table)
+		}
+		return s.db.Catalog().Table(spec.Table), false, nil
+	}
+	if spec.CreateSpec == "" {
+		return nil, false, fmt.Errorf("service: unknown table %q (pass a create spec to create it)", spec.Table)
+	}
+	attrs, err := persist.ParseSchemaSpec(spec.CreateSpec)
+	if err != nil {
+		return nil, false, err
+	}
+	var layout storage.Layout
+	switch spec.Layout {
+	case "", "row":
+		layout = storage.NSM(len(attrs))
+	case "column":
+		layout = storage.DSM(len(attrs))
+	default:
+		return nil, false, fmt.Errorf("service: load layout %q (want row or column)", spec.Layout)
+	}
+	rel := storage.NewRelation(storage.NewSchema(spec.Table, attrs...), layout)
+	s.db.AddTable(rel)
+	s.invalidate()
+	if s.persist != nil {
+		if err := s.persist.LogCreateTable(s.db.Catalog(), spec.Table); err != nil {
+			s.stats.persistErrs.Add(1)
+			return nil, false, fmt.Errorf("%w: table created but not logged: %v", ErrDurability, err)
+		}
+	}
+	return rel, true, nil
+}
+
+// applyLoadBatch encodes and inserts one parsed batch under the write
+// lock: dictionary appends, index maintenance, cache invalidation and
+// WAL logging are a single critical section. The relation is re-resolved
+// per batch in case a concurrent /optimize swapped in a re-laid-out
+// sibling (dictionaries are shared between siblings, so codes stay
+// consistent either way).
+func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) error {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	rel := s.db.Catalog().Table(table)
+	// Remember dictionary sizes: values appended by this batch's encoding
+	// must be WAL-logged (insert records carry only codes).
+	preDict := make([]int, width)
+	for ai, d := range rel.Dicts {
+		if d != nil {
+			preDict[ai] = d.Len()
+		}
+	}
+	rows, encErr := persist.EncodeRows(rel, raw)
+	// Dictionary growth is logged even when encoding failed mid-batch:
+	// the values appended before the failure are in the in-memory
+	// dictionary, and the next batch's delta is computed against it — a
+	// skipped delta would shift every later code on replay.
+	if s.persist != nil {
+		for ai, d := range rel.Dicts {
+			if d == nil || d.Len() == preDict[ai] {
+				continue
+			}
+			if err := s.persist.LogDictAppend(table, ai, d.Values()[preDict[ai]:]); err != nil {
+				s.stats.persistErrs.Add(1)
+				return fmt.Errorf("%w: dictionary growth not logged: %v", ErrDurability, err)
+			}
+		}
+	}
+	if encErr != nil {
+		return encErr
+	}
+	exec.RunInsert(plan.Insert{Table: table, Rows: rows}, s.db.Catalog())
+	s.invalidate()
+	if s.persist != nil {
+		if err := s.persist.LogInsert(table, width, rows); err != nil {
+			s.stats.persistErrs.Add(1)
+			return fmt.Errorf("%w: batch applied but not logged: %v", ErrDurability, err)
+		}
+	}
+	return nil
+}

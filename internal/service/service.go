@@ -24,6 +24,7 @@
 package service
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/exec/jit"
 	"repro/internal/exec/par"
 	"repro/internal/exec/result"
+	"repro/internal/persist"
 	"repro/internal/plan"
 )
 
@@ -42,6 +44,16 @@ import (
 // MaxInFlight queries were already executing and none finished within
 // QueueTimeout.
 var ErrOverloaded = errors.New("service: overloaded (admission queue timed out)")
+
+// ErrNoPersistence reports a durability operation (checkpoint) on a
+// service with no data directory attached.
+var ErrNoPersistence = errors.New("service: no persistence attached (start with a data directory)")
+
+// ErrDurability marks a server-side persistence failure (WAL append or
+// checkpoint I/O): the in-memory mutation was applied but its durability
+// is in doubt. HTTP maps these to 500, not 400 — retrying the request
+// would duplicate the applied mutation.
+var ErrDurability = errors.New("service: durability failure")
 
 // Config sizes the service.
 type Config struct {
@@ -56,6 +68,9 @@ type Config struct {
 	// QueueTimeout is how long an admitted-over-capacity request waits
 	// for a slot before ErrOverloaded; 0 means one second.
 	QueueTimeout time.Duration
+	// PlanCacheSize caps the compiled-plan LRU by entry count; 0 means
+	// 1024. The whole cache is still dropped on DDL.
+	PlanCacheSize int
 }
 
 // DB is a concurrency-safe serving wrapper around one core.DB. Create it
@@ -69,12 +84,12 @@ type DB struct {
 	// compile + execute; OptimizeLayouts and Insert hold it for writing.
 	catalogMu sync.RWMutex
 
-	// plans caches compiled queries by canonical plan JSON. Entries are
-	// compiled at most once (the entry's once), readers of the same plan
-	// share the compiled form, and the whole map is dropped when the
-	// catalog changes.
+	// plans caches compiled queries by canonical plan JSON in an LRU
+	// capped by entry count. Entries are compiled at most once (the
+	// entry's once), readers of the same plan share the compiled form,
+	// and the whole cache is dropped when the catalog changes.
 	planMu sync.Mutex
-	plans  map[string]*cachedPlan
+	plans  *planLRU
 
 	stmtMu sync.Mutex
 	stmts  map[string]*Stmt
@@ -83,7 +98,74 @@ type DB struct {
 	sem          chan struct{}
 	queueTimeout time.Duration
 
+	// Durability (nil persist = in-memory only). Loggers run under the
+	// catalog write lock; Checkpoint runs under the read lock so queries
+	// keep executing while the snapshot is written.
+	persist       *persist.Manager
+	ckptThreshold int64
+	ckptMu        sync.Mutex  // serializes checkpoints
+	ckptPending   atomic.Bool // one background checkpoint goroutine at a time
+
 	stats statsCounters
+}
+
+// planLRU is the compiled-plan cache: most recent at the list front,
+// eviction from the back. All access is under planMu.
+type planLRU struct {
+	cap int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type planLRUEntry struct {
+	key   string
+	entry *cachedPlan
+}
+
+func newPlanLRU(capacity int) *planLRU {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planLRU{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached entry and marks it most recently used.
+func (c *planLRU) get(key string) (*cachedPlan, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planLRUEntry).entry, true
+}
+
+// add inserts a new entry as most recently used and returns the number of
+// entries evicted to stay within the cap.
+func (c *planLRU) add(key string, entry *cachedPlan) int {
+	c.m[key] = c.ll.PushFront(&planLRUEntry{key: key, entry: entry})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		kv := back.Value.(*planLRUEntry)
+		c.ll.Remove(back)
+		delete(c.m, kv.key)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops key if it still maps to entry.
+func (c *planLRU) remove(key string, entry *cachedPlan) {
+	if el, ok := c.m[key]; ok && el.Value.(*planLRUEntry).entry == entry {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
+// clear drops everything (DDL invalidation).
+func (c *planLRU) clear() {
+	c.ll.Init()
+	clear(c.m)
 }
 
 type cachedPlan struct {
@@ -126,11 +208,24 @@ func New(db *core.DB, cfg Config) *DB {
 		db:           db,
 		pool:         pool,
 		opt:          opt,
-		plans:        map[string]*cachedPlan{},
+		plans:        newPlanLRU(cfg.PlanCacheSize),
 		stmts:        map[string]*Stmt{},
 		sem:          make(chan struct{}, inFlight),
 		queueTimeout: timeout,
 	}
+}
+
+// AttachPersist wires a durability manager into the service: inserts,
+// bulk loads and re-layout decisions are WAL-logged under the catalog
+// write lock, and a background checkpoint runs whenever the WAL exceeds
+// walCheckpointBytes (0 means 64 MB; negative disables the automatic
+// trigger — /checkpoint still works). Call before serving starts.
+func (s *DB) AttachPersist(m *persist.Manager, walCheckpointBytes int64) {
+	if walCheckpointBytes == 0 {
+		walCheckpointBytes = 64 << 20
+	}
+	s.persist = m
+	s.ckptThreshold = walCheckpointBytes
 }
 
 // Close stops the shared pool. In-flight queries finish (a closed pool
@@ -308,23 +403,38 @@ func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
 
 // runInsert applies a write plan under the exclusive lock. The mutation
 // invalidates every cached plan (materialized build sides and compiled
-// slice accessors may reference the grown table).
+// slice accessors may reference the grown table) and is WAL-logged when
+// persistence is attached.
 func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
 	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
-	if err := plan.Check(p, s.db.Catalog()); err != nil {
-		return nil, err
+	res, err := func() (*result.Set, error) {
+		defer s.catalogMu.Unlock()
+		if err := plan.Check(p, s.db.Catalog()); err != nil {
+			return nil, err
+		}
+		res := s.db.Query(p)
+		s.invalidate()
+		if s.persist != nil {
+			ins := p.(plan.Insert)
+			width := s.db.Catalog().Table(ins.Table).Schema.Width()
+			if err := s.persist.LogInsert(ins.Table, width, ins.Rows); err != nil {
+				s.stats.persistErrs.Add(1)
+				return nil, fmt.Errorf("%w: insert applied but not logged: %v", ErrDurability, err)
+			}
+		}
+		return res, nil
+	}()
+	if err == nil {
+		s.maybeCheckpointAsync()
 	}
-	res := s.db.Query(p)
-	s.invalidate()
-	return res, nil
+	return res, err
 }
 
-// maxCachedPlans bounds the plan cache between catalog changes, so a
-// client streaming distinct plans (e.g. sweeping a filter constant)
-// cannot grow service memory without bound. Eviction is arbitrary-entry:
-// the cache is an optimization, and any evicted plan just recompiles.
-const maxCachedPlans = 1024
+// defaultPlanCacheSize bounds the plan cache between catalog changes, so
+// a client streaming distinct plans (e.g. sweeping a filter constant)
+// cannot grow service memory without bound. The cache is an optimization:
+// an evicted plan just recompiles.
+const defaultPlanCacheSize = 1024
 
 // lookup returns the cache entry for key, creating it if needed. The
 // caller must hold the catalog lock (read is enough: entries are created
@@ -332,19 +442,15 @@ const maxCachedPlans = 1024
 func (s *DB) lookup(key string) *cachedPlan {
 	s.planMu.Lock()
 	defer s.planMu.Unlock()
-	entry, ok := s.plans[key]
+	entry, ok := s.plans.get(key)
 	if ok {
 		s.stats.planHits.Add(1)
 	} else {
 		s.stats.planMisses.Add(1)
-		if len(s.plans) >= maxCachedPlans {
-			for k := range s.plans {
-				delete(s.plans, k)
-				break
-			}
-		}
 		entry = &cachedPlan{}
-		s.plans[key] = entry
+		if evicted := s.plans.add(key, entry); evicted > 0 {
+			s.stats.planEvictions.Add(int64(evicted))
+		}
 	}
 	return entry
 }
@@ -353,29 +459,73 @@ func (s *DB) lookup(key string) *cachedPlan {
 // (validation failures), if it is still the one the key maps to.
 func (s *DB) forget(key string, entry *cachedPlan) {
 	s.planMu.Lock()
-	if s.plans[key] == entry {
-		delete(s.plans, key)
-	}
+	s.plans.remove(key, entry)
 	s.planMu.Unlock()
 }
 
 // invalidate drops every cached plan. Callers hold the write lock.
 func (s *DB) invalidate() {
 	s.planMu.Lock()
-	s.plans = map[string]*cachedPlan{}
+	s.plans.clear()
 	s.planMu.Unlock()
 }
 
 // OptimizeLayouts runs the layout optimizer under the exclusive lock —
 // the serving analogue of core.DB.OptimizeLayouts — and invalidates the
 // plan cache, since compiled plans address the old partitions directly.
+// With persistence attached, each decision is WAL-logged so recovery
+// re-applies the exact chosen layouts.
 func (s *DB) OptimizeLayouts() []core.LayoutChange {
 	s.catalogMu.Lock()
 	defer s.catalogMu.Unlock()
 	changes := s.db.OptimizeLayouts()
 	s.invalidate()
 	s.stats.relayouts.Add(1)
+	if s.persist != nil {
+		for _, ch := range changes {
+			if err := s.persist.LogRelayout(ch.Table, ch.New); err != nil {
+				s.stats.persistErrs.Add(1)
+			}
+		}
+	}
 	return changes
+}
+
+// Checkpoint snapshots the full catalog to the data directory and resets
+// the WAL. It runs under the catalog read lock: concurrent queries keep
+// executing, mutations wait. Concurrent checkpoints serialize.
+func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
+	if s.persist == nil {
+		return persist.CheckpointInfo{}, ErrNoPersistence
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
+	info, err := s.persist.Checkpoint(s.db)
+	if err != nil {
+		s.stats.persistErrs.Add(1)
+		return info, err
+	}
+	s.stats.checkpoints.Add(1)
+	return info, nil
+}
+
+// maybeCheckpointAsync starts a background checkpoint when the WAL has
+// outgrown the configured threshold. At most one background checkpoint
+// runs at a time; failures are counted, not fatal (the WAL still holds
+// the data).
+func (s *DB) maybeCheckpointAsync() {
+	if s.persist == nil || s.ckptThreshold <= 0 || s.persist.WALSize() < s.ckptThreshold {
+		return
+	}
+	if !s.ckptPending.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptPending.Store(false)
+		_, _ = s.Checkpoint()
+	}()
 }
 
 // AddWorkload declares workload entries for the optimizer (write lock:
@@ -425,53 +575,82 @@ func (s *DB) Tables() []TableInfo {
 
 // statsCounters are the service's atomic counters.
 type statsCounters struct {
-	queries    atomic.Int64
-	failed     atomic.Int64
-	queued     atomic.Int64
-	rejected   atomic.Int64
-	prepared   atomic.Int64
-	planHits   atomic.Int64
-	planMisses atomic.Int64
-	relayouts  atomic.Int64
-	rows       atomic.Int64
-	execNanos  atomic.Int64
-	inFlight   atomic.Int64
+	queries       atomic.Int64
+	failed        atomic.Int64
+	queued        atomic.Int64
+	rejected      atomic.Int64
+	prepared      atomic.Int64
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvictions atomic.Int64
+	relayouts     atomic.Int64
+	rows          atomic.Int64
+	execNanos     atomic.Int64
+	inFlight      atomic.Int64
+	checkpoints   atomic.Int64
+	persistErrs   atomic.Int64
+	loads         atomic.Int64
+	loadedRows    atomic.Int64
 }
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
-	Queries       int64 `json:"queries"`         // successfully executed
-	Failed        int64 `json:"failed"`          // validation/decode failures
-	Queued        int64 `json:"queued"`          // waited for an admission slot
-	Rejected      int64 `json:"rejected"`        // admission timeouts (ErrOverloaded)
-	Prepared      int64 `json:"prepared"`        // Prepare calls
-	PlanCacheHits int64 `json:"planCacheHits"`   // executions reusing a compiled plan
-	PlanCacheMiss int64 `json:"planCacheMisses"` // executions that compiled
-	Relayouts     int64 `json:"relayouts"`       // OptimizeLayouts runs
-	Rows          int64 `json:"rows"`            // total result rows served
-	ExecNanos     int64 `json:"execNanos"`       // summed wall time inside execution
-	InFlight      int64 `json:"inFlight"`        // currently executing
-	Workers       int   `json:"workers"`         // shared pool size (1 = serial)
-	MaxInFlight   int   `json:"maxInFlight"`     // admission bound
+	Queries        int64 `json:"queries"`            // successfully executed
+	Failed         int64 `json:"failed"`             // validation/decode failures
+	Queued         int64 `json:"queued"`             // waited for an admission slot
+	Rejected       int64 `json:"rejected"`           // admission timeouts (ErrOverloaded)
+	Prepared       int64 `json:"prepared"`           // Prepare calls
+	PlanCacheHits  int64 `json:"planCacheHits"`      // executions reusing a compiled plan
+	PlanCacheMiss  int64 `json:"planCacheMisses"`    // executions that compiled
+	PlanEvictions  int64 `json:"planCacheEvictions"` // LRU evictions (not DDL flushes)
+	Relayouts      int64 `json:"relayouts"`          // OptimizeLayouts runs
+	Rows           int64 `json:"rows"`               // total result rows served
+	ExecNanos      int64 `json:"execNanos"`          // summed wall time inside execution
+	InFlight       int64 `json:"inFlight"`           // currently executing
+	Workers        int   `json:"workers"`            // shared pool size (1 = serial)
+	MaxInFlight    int   `json:"maxInFlight"`        // admission bound
+	Persistent     bool  `json:"persistent"`         // durability attached
+	WALBytes       int64 `json:"walBytes"`           // current WAL length (0 without persistence)
+	Checkpoints    int64 `json:"checkpoints"`        // completed checkpoints
+	PersistErrors  int64 `json:"persistErrors"`      // failed WAL/checkpoint operations
+	Loads          int64 `json:"loads"`              // completed bulk loads
+	LoadedRows     int64 `json:"loadedRows"`         // rows ingested by bulk loads
+	PlanCacheSize  int   `json:"planCacheSize"`      // current entry count
+	PlanCacheLimit int   `json:"planCacheLimit"`     // LRU capacity
 }
 
 // Stats snapshots the counters.
 func (s *DB) Stats() Stats {
-	return Stats{
-		Queries:       s.stats.queries.Load(),
-		Failed:        s.stats.failed.Load(),
-		Queued:        s.stats.queued.Load(),
-		Rejected:      s.stats.rejected.Load(),
-		Prepared:      s.stats.prepared.Load(),
-		PlanCacheHits: s.stats.planHits.Load(),
-		PlanCacheMiss: s.stats.planMisses.Load(),
-		Relayouts:     s.stats.relayouts.Load(),
-		Rows:          s.stats.rows.Load(),
-		ExecNanos:     s.stats.execNanos.Load(),
-		InFlight:      s.stats.inFlight.Load(),
-		Workers:       s.opt.WorkerCount(),
-		MaxInFlight:   cap(s.sem),
+	s.planMu.Lock()
+	cacheLen, cacheCap := s.plans.ll.Len(), s.plans.cap
+	s.planMu.Unlock()
+	st := Stats{
+		Queries:        s.stats.queries.Load(),
+		Failed:         s.stats.failed.Load(),
+		Queued:         s.stats.queued.Load(),
+		Rejected:       s.stats.rejected.Load(),
+		Prepared:       s.stats.prepared.Load(),
+		PlanCacheHits:  s.stats.planHits.Load(),
+		PlanCacheMiss:  s.stats.planMisses.Load(),
+		PlanEvictions:  s.stats.planEvictions.Load(),
+		Relayouts:      s.stats.relayouts.Load(),
+		Rows:           s.stats.rows.Load(),
+		ExecNanos:      s.stats.execNanos.Load(),
+		InFlight:       s.stats.inFlight.Load(),
+		Workers:        s.opt.WorkerCount(),
+		MaxInFlight:    cap(s.sem),
+		Checkpoints:    s.stats.checkpoints.Load(),
+		PersistErrors:  s.stats.persistErrs.Load(),
+		Loads:          s.stats.loads.Load(),
+		LoadedRows:     s.stats.loadedRows.Load(),
+		PlanCacheSize:  cacheLen,
+		PlanCacheLimit: cacheCap,
 	}
+	if s.persist != nil {
+		st.Persistent = true
+		st.WALBytes = s.persist.WALSize()
+	}
+	return st
 }
 
 // planKey computes the cache key: a digest of the plan's canonical JSON

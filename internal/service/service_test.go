@@ -222,7 +222,7 @@ func TestServiceInvalidPlansNotCached(t *testing.T) {
 		}
 	}
 	s.planMu.Lock()
-	cached := len(s.plans)
+	cached := s.plans.ll.Len()
 	s.planMu.Unlock()
 	if cached != 0 {
 		t.Fatalf("%d failed-validation entries pinned in the plan cache", cached)
@@ -235,7 +235,7 @@ func TestServicePlanCacheBounded(t *testing.T) {
 
 	// A constant sweep produces all-distinct cache keys — the pattern the
 	// cap exists for.
-	for i := 0; i < maxCachedPlans+16; i++ {
+	for i := 0; i < defaultPlanCacheSize+16; i++ {
 		q := plan.Scan{
 			Table:  "R",
 			Filter: expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(int64(i))},
@@ -246,10 +246,13 @@ func TestServicePlanCacheBounded(t *testing.T) {
 		}
 	}
 	s.planMu.Lock()
-	cached := len(s.plans)
+	cached := s.plans.ll.Len()
 	s.planMu.Unlock()
-	if cached > maxCachedPlans {
-		t.Fatalf("plan cache grew to %d entries, cap is %d", cached, maxCachedPlans)
+	if cached > defaultPlanCacheSize {
+		t.Fatalf("plan cache grew to %d entries, cap is %d", cached, defaultPlanCacheSize)
+	}
+	if st := s.Stats(); st.PlanEvictions != 16 {
+		t.Fatalf("PlanEvictions = %d, want 16", st.PlanEvictions)
 	}
 }
 

@@ -3,6 +3,7 @@ package storage
 import (
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // Dict is an order-preserving string dictionary. Codes assigned at build
@@ -11,11 +12,30 @@ import (
 // after the build (by inserts) receive the next free code; such codes are
 // usable for equality but no longer order-preserving, which matches how
 // the benchmarks use inserted values.
+//
+// The value table is published through an atomic pointer: any number of
+// goroutines may decode codes (Value, Values, Len) concurrently with one
+// appender (AppendCode). Appenders must be serialized externally — the
+// service layer runs them under its catalog write lock — and the code
+// lookup side (Code, MustCode, MatchCodes) must likewise be excluded from
+// concurrent appends, since it reads the code map the appender mutates.
 type Dict struct {
-	values []string
+	values atomic.Pointer[[]string] // value table in code order
 	code   map[string]Word
 	sorted int // values[:sorted] are in lexicographic order
 }
+
+func newDict(values []string, sorted int) *Dict {
+	d := &Dict{code: make(map[string]Word, len(values)), sorted: sorted}
+	d.values.Store(&values)
+	for i, v := range values {
+		d.code[v] = Word(i)
+	}
+	return d
+}
+
+// vals returns the current value table.
+func (d *Dict) vals() []string { return *d.values.Load() }
 
 // BuildDict constructs a dictionary over the distinct values of vals,
 // assigning codes in lexicographic order.
@@ -29,15 +49,11 @@ func BuildDict(vals []string) *Dict {
 		sorted = append(sorted, v)
 	}
 	sort.Strings(sorted)
-	d := &Dict{values: sorted, code: make(map[string]Word, len(sorted)), sorted: len(sorted)}
-	for i, v := range sorted {
-		d.code[v] = Word(i)
-	}
-	return d
+	return newDict(sorted, len(sorted))
 }
 
 // Len returns the number of distinct values.
-func (d *Dict) Len() int { return len(d.values) }
+func (d *Dict) Len() int { return len(d.vals()) }
 
 // Code returns the code of v, if present.
 func (d *Dict) Code(v string) (Word, bool) {
@@ -56,19 +72,53 @@ func (d *Dict) MustCode(v string) Word {
 }
 
 // AppendCode returns the code for v, assigning a fresh (non-order-
-// preserving) code if v is new.
+// preserving) code if v is new. The new value table is published
+// atomically, so codes handed out earlier stay decodable by concurrent
+// readers throughout.
 func (d *Dict) AppendCode(v string) Word {
 	if c, ok := d.code[v]; ok {
 		return c
 	}
-	c := Word(len(d.values))
-	d.values = append(d.values, v)
+	old := d.vals()
+	c := Word(len(old))
+	// append either reallocates (the old array stays untouched for readers
+	// holding the previous header) or writes at an index beyond every
+	// previously published length; the atomic store orders that write
+	// before any reader can observe the new length.
+	grown := append(old, v)
+	d.values.Store(&grown)
 	d.code[v] = c
 	return c
 }
 
 // Value returns the string for a code.
-func (d *Dict) Value(c Word) string { return d.values[c] }
+func (d *Dict) Value(c Word) string { return d.vals()[c] }
+
+// Values returns the dictionary's value table in code order: Values()[c]
+// is the string encoded as code c. The returned slice is the stable
+// serializable form of the dictionary; callers must not mutate it.
+func (d *Dict) Values() []string { return d.vals() }
+
+// SortedLen returns how many leading values are in lexicographic order —
+// codes below this bound are order-preserving, codes at or above it were
+// appended by inserts. Serialized alongside Values so a restored
+// dictionary keeps the same order-preservation guarantee.
+func (d *Dict) SortedLen() int { return d.sorted }
+
+// RestoreDict reconstructs a dictionary from its serialized form: the
+// value table in code order plus the order-preserving prefix length.
+// Codes assigned by the restored dictionary are identical to the
+// original's (value i gets code i), which keeps persisted column words
+// valid.
+func RestoreDict(values []string, sorted int) *Dict {
+	if sorted < 0 {
+		sorted = 0
+	}
+	if sorted > len(values) {
+		sorted = len(values)
+	}
+	return newDict(append([]string(nil), values...), sorted)
+}
 
 // CodeSet is a bitset over dictionary codes, the compiled form of string
 // predicates such as LIKE: the predicate is evaluated once per distinct
@@ -81,8 +131,9 @@ type CodeSet struct {
 // MatchCodes compiles pred into a CodeSet by evaluating it on every
 // distinct value of the dictionary.
 func (d *Dict) MatchCodes(pred func(string) bool) *CodeSet {
-	cs := &CodeSet{bits: make([]uint64, (len(d.values)+63)/64), n: len(d.values)}
-	for i, v := range d.values {
+	vals := d.vals()
+	cs := &CodeSet{bits: make([]uint64, (len(vals)+63)/64), n: len(vals)}
+	for i, v := range vals {
 		if pred(v) {
 			cs.bits[i>>6] |= 1 << (uint(i) & 63)
 		}

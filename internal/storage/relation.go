@@ -136,6 +136,47 @@ func (r *Relation) StringOf(row, attr int) string {
 // Dict returns the dictionary of a string attribute (nil otherwise).
 func (r *Relation) Dict(attr int) *Dict { return r.Dicts[attr] }
 
+// RestoreRelation reconstructs a relation from its serialized parts: the
+// schema, the layout, one word slice per layout group (row-major, stride =
+// group width, in the exact storage order AppendRow/Build produce), the
+// per-attribute dictionaries (nil entries for non-string attributes), and
+// the row count. It is the inverse of reading Relation.Parts[i].Data
+// directly: a snapshot written from those slices and restored through here
+// is bit-identical — same group order, strides, offsets and dict codes.
+func RestoreRelation(schema *Schema, layout Layout, partData [][]Word, dicts []*Dict, rows int) (*Relation, error) {
+	if err := layout.Validate(schema.Width()); err != nil {
+		return nil, err
+	}
+	if len(partData) != len(layout.Groups) {
+		return nil, fmt.Errorf("storage: restore of %s: %d partitions for %d layout groups",
+			schema.Name, len(partData), len(layout.Groups))
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("storage: restore of %s: negative row count %d", schema.Name, rows)
+	}
+	for gi, g := range layout.Groups {
+		// Division form: Validate guarantees len(g) >= 1, and the product
+		// rows*len(g) could overflow on hostile inputs.
+		if len(partData[gi])/len(g) != rows || len(partData[gi])%len(g) != 0 {
+			return nil, fmt.Errorf("storage: restore of %s: partition %d holds %d words, want %d rows × stride %d",
+				schema.Name, gi, len(partData[gi]), rows, len(g))
+		}
+	}
+	if dicts != nil && len(dicts) != schema.Width() {
+		return nil, fmt.Errorf("storage: restore of %s: %d dictionaries for %d attributes",
+			schema.Name, len(dicts), schema.Width())
+	}
+	r := NewRelation(schema, layout)
+	r.rows = rows
+	for gi, p := range r.Parts {
+		p.Data = partData[gi]
+	}
+	if dicts != nil {
+		copy(r.Dicts, dicts)
+	}
+	return r, nil
+}
+
 // WithLayout materializes the relation's content under a different layout.
 // Dictionaries are shared: codes remain valid across siblings.
 func (r *Relation) WithLayout(layout Layout) *Relation {
