@@ -27,6 +27,7 @@ import (
 	"repro/internal/exec/result"
 	"repro/internal/exec/vector"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/mem"
 	"repro/internal/pattern"
 	"repro/internal/plan"
@@ -110,6 +111,60 @@ func BenchmarkParallelScaling(b *testing.B) {
 					e.Run(scan, cat)
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkBreakers measures the parallelized pipeline breakers on the
+// Figure 3 relation: the full parallel merge sort, the fused top-N
+// (ORDER BY … LIMIT 100 — compare its ns/op and bytes/op against sort to
+// see the O(k) bound), and the radix-partitioned hash-join build+probe,
+// for both parallel-capable engines across the worker sweep. workers=1 is
+// the serial engine, each series' scaling baseline.
+func BenchmarkBreakers(b *testing.B) {
+	setup := experiments.NewFig3Setup(1_000_000)
+	cat := setup.Catalogs["column"]
+	sortPlan := plan.Sort{
+		Child: plan.Scan{
+			Table:  "R",
+			Filter: expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(800_000)},
+			Cols:   []int{1, 2, 0},
+		},
+		Keys: []plan.SortKey{{Pos: 0}, {Pos: 1, Desc: true}},
+	}
+	plans := []struct {
+		name string
+		p    plan.Node
+	}{
+		{"sort", sortPlan},
+		{"topn", plan.Limit{N: 100, Child: sortPlan}},
+		{"join", plan.HashJoin{
+			Left: plan.Scan{Table: "R", Cols: []int{0, 1}},
+			Right: plan.Scan{
+				Table:  "R",
+				Filter: expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(100_000)},
+				Cols:   []int{0, 2},
+			},
+			LeftKey:  0,
+			RightKey: 0,
+		}},
+	}
+	for _, spec := range plans {
+		for _, w := range workerCounts() {
+			opt := par.Options{Workers: w}
+			engines := map[string]exec.Engine{"jit": jit.NewParallel(opt), "vector": vector.NewParallel(opt)}
+			if w == 1 {
+				engines = map[string]exec.Engine{"jit": jit.New(), "vector": vector.New()}
+			}
+			for _, name := range []string{"jit", "vector"} {
+				e := engines[name]
+				b.Run(fmt.Sprintf("%s/%s/workers=%d", spec.name, name, w), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						e.Run(spec.p, cat)
+					}
+				})
+			}
 		}
 	}
 }

@@ -62,8 +62,10 @@ func Open() *DB {
 // database's compiled engine, with the same convention as the benchrunner
 // -workers flag and experiments.Options.Workers: 0 or 1 selects the
 // serial engine (the paper's single-core configuration), n > 1 a fixed
-// pool, n < 0 GOMAXPROCS. Results are unaffected — parallel scans produce
-// identical rows in identical order.
+// pool, n < 0 GOMAXPROCS. Scans, sorts, fused ORDER BY … LIMIT top-N and
+// hash-join builds all parallelize under the knob; results are
+// unaffected — parallel execution produces identical rows in identical
+// order.
 func (db *DB) SetWorkers(n int) *DB {
 	switch {
 	case n == 0 || n == 1:

@@ -74,7 +74,10 @@ func PlanIndexAccess(c *plan.Catalog, table string, filter expr.Pred) (IndexAcce
 }
 
 // SortRows orders rows in place by the sort keys (encoded words are
-// order-preserving for every type).
+// order-preserving for every type). The serial baseline engines (volcano,
+// bulk, hyrise) sort through it; jit and vector use sortpar.Sort, whose
+// output is bit-identical — equal-key order included — for any worker
+// count.
 func SortRows(rows [][]storage.Word, keys []plan.SortKey) {
 	sort.SliceStable(rows, func(i, j int) bool {
 		for _, k := range keys {

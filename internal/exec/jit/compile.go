@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/exec/joinpar"
 	"repro/internal/exec/par"
 	"repro/internal/expr"
 	"repro/internal/index"
@@ -74,12 +75,12 @@ type stage struct {
 	tests   []test
 	complex expr.Pred
 
-	// stProbe: regs become buildRow ++ oldRegs. The build side is one flat
-	// row-major buffer (stride addWidth); the table maps join keys to row
-	// indices into it, so building costs one slice per key instead of one
-	// per key plus one per row.
-	build    []storage.Word
-	table    map[storage.Word][]int32
+	// stProbe: regs become buildRow ++ oldRegs. The build side is a
+	// (radix-partitioned when built in parallel) joinpar.Table: flat
+	// row-major partition buffers of stride addWidth, with per-partition
+	// tables mapping join keys to local row indices, so building costs one
+	// slice per key instead of one per key plus one per row.
+	jt       *joinpar.Table
 	keyReg   int
 	addWidth int
 
@@ -150,23 +151,17 @@ func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options) *pipe {
 		return p
 
 	case plan.HashJoin:
-		// Build side: materialize (pipeline breaker) into one flat
-		// row-major buffer and hash row indices into it.
+		// Build side: materialize (pipeline breaker) and radix-partition
+		// the rows into per-partition flat buffers + hash tables; under
+		// serial options this degenerates to the single flat buffer.
 		leftRows := prepareNode(v.Left, c, opt)()
 		leftWidth := nodeWidth(v.Left, c)
-		build := make([]storage.Word, 0, len(leftRows)*leftWidth)
-		table := make(map[storage.Word][]int32, len(leftRows))
-		for i, row := range leftRows {
-			build = append(build, row...)
-			k := row[v.LeftKey]
-			table[k] = append(table[k], int32(i))
-		}
+		jt := joinpar.Build(leftRows, v.LeftKey, leftWidth, opt)
 		// Probe side: continue the pipeline.
 		p := compilePipe(v.Right, c, opt)
 		p.stages = append(p.stages, stage{
 			kind:     stProbe,
-			build:    build,
-			table:    table,
+			jt:       jt,
 			keyReg:   v.RightKey,
 			addWidth: leftWidth,
 			buf:      make([]storage.Word, leftWidth+p.outWidth),

@@ -4,6 +4,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/exec/par"
 	"repro/internal/exec/result"
+	"repro/internal/exec/sortpar"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -86,10 +87,15 @@ func prepareNode(n plan.Node, c *plan.Catalog, opt par.Options) func() [][]stora
 		child := prepareNode(v.Child, c, opt)
 		return func() [][]storage.Word {
 			rows := child()
-			exec.SortRows(rows, v.Keys)
+			sortpar.Sort(rows, v.Keys, opt)
 			return rows
 		}
 	case plan.Limit:
+		// ORDER BY … LIMIT k fuses into a bounded top-N: no execution ever
+		// materializes more than k sorted rows per worker before the merge.
+		if srt, ok := v.Child.(plan.Sort); ok {
+			return prepareTopN(srt, v.N, c, opt)
+		}
 		child := prepareNode(v.Child, c, opt)
 		return func() [][]storage.Word {
 			rows := child()
@@ -255,7 +261,7 @@ func (p *pipe) pushStages(si int, regs []storage.Word, emit func([]storage.Word)
 			}
 			regs = buf
 		case stProbe:
-			matches := st.table[regs[st.keyReg]]
+			matches, build := st.jt.Lookup(regs[st.keyReg])
 			if len(matches) == 0 {
 				return
 			}
@@ -263,12 +269,12 @@ func (p *pipe) pushStages(si int, regs []storage.Word, emit func([]storage.Word)
 			buf := st.buf
 			copy(buf[w:], regs)
 			if len(matches) == 1 {
-				copy(buf[:w], st.build[int(matches[0])*w:])
+				copy(buf[:w], build[int(matches[0])*w:])
 				regs = buf
 				continue
 			}
 			for _, m := range matches {
-				copy(buf[:w], st.build[int(m)*w:])
+				copy(buf[:w], build[int(m)*w:])
 				p.pushStages(si+1, buf, emit)
 			}
 			return

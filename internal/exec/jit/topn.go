@@ -1,0 +1,73 @@
+package jit
+
+import (
+	"repro/internal/exec/par"
+	"repro/internal/exec/sortpar"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// prepareTopN compiles the fused ORDER BY … LIMIT k form: instead of
+// materializing and fully sorting the sort child's output and then
+// truncating, emitted rows feed bounded top-N heaps, so an execution
+// allocates O(k) rows per worker instead of O(n) — the asymptotic fix for
+// top-N queries. The merged result is bit-identical to stable-sort-then-
+// truncate: heaps break key ties by emission ordinal (morsel, seq), the
+// serial emission order under the scheduler's determinism contract.
+func prepareTopN(srt plan.Sort, k int, c *plan.Catalog, opt par.Options) func() [][]storage.Word {
+	switch srt.Child.(type) {
+	case plan.Aggregate, plan.Sort, plan.Limit, plan.Insert:
+		// The sort child is itself a breaker: its output is already
+		// materialized, so the heap only bounds the sorted copy.
+		child := prepareNode(srt.Child, c, opt)
+		return func() [][]storage.Word {
+			return topNRows(child(), srt.Keys, k)
+		}
+	}
+	p := compilePipe(srt.Child, c, opt)
+	return func() [][]storage.Word {
+		if p.parallelizable(opt) {
+			return p.runParallelTopN(srt.Keys, k, opt)
+		}
+		t := sortpar.NewTopN(srt.Keys, k)
+		seq := 0
+		// Serial execution mutates stage buffers and the index-lookup
+		// scratch, so concurrent Execs each run a private clone.
+		p.cloneForWorker().run(func(regs []storage.Word) {
+			t.Offer(regs, 0, seq)
+			seq++
+		})
+		return sortpar.MergeTopN([]*sortpar.TopN{t}, srt.Keys, k)
+	}
+}
+
+// runParallelTopN drives the pipe with the morsel scheduler, each worker
+// feeding a private bounded heap; candidates merge into the exact first k
+// rows of the serial stable sort.
+func (p *pipe) runParallelTopN(keys []plan.SortKey, k int, opt par.Options) [][]storage.Word {
+	n := p.rel.Rows()
+	pool := make([]*pipeWorker, opt.WorkerCount())
+	tops := make([]*sortpar.TopN, opt.WorkerCount())
+	par.Run(n, opt, func(w, m, lo, hi int) {
+		ws := p.worker(pool, w)
+		if tops[w] == nil {
+			tops[w] = sortpar.NewTopN(keys, k)
+		}
+		t := tops[w]
+		seq := 0
+		ws.pipe.runRange(lo, hi, ws.regs, func(regs []storage.Word) {
+			t.Offer(regs, m, seq)
+			seq++
+		})
+	})
+	return sortpar.MergeTopN(tops, keys, k)
+}
+
+// topNRows bounds already-materialized rows through a single heap.
+func topNRows(rows [][]storage.Word, keys []plan.SortKey, k int) [][]storage.Word {
+	t := sortpar.NewTopN(keys, k)
+	for i, r := range rows {
+		t.Offer(r, 0, i)
+	}
+	return sortpar.MergeTopN([]*sortpar.TopN{t}, keys, k)
+}

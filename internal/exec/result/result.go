@@ -89,25 +89,38 @@ func (s *Set) AppendCopy(row []storage.Word) {
 // Len returns the number of rows.
 func (s *Set) Len() int { return len(s.Rows) }
 
-// Sorted returns a copy whose rows are in canonical (lexicographic word)
-// order; used to compare engines that produce rows in different orders.
+// Sorted returns a copy whose rows are in canonical order: full-row
+// lexicographic word order with shorter-prefix rows first — a total order,
+// stably applied, so the canonical form is deterministic even for sets
+// holding duplicate rows. Differential tests rely on this to compare
+// engines that produce rows in different orders.
 func (s *Set) Sorted() *Set {
 	out := &Set{Cols: s.Cols, Rows: make([][]storage.Word, len(s.Rows))}
 	copy(out.Rows, s.Rows)
-	sort.Slice(out.Rows, func(i, j int) bool { return lessRow(out.Rows[i], out.Rows[j]) })
+	sort.SliceStable(out.Rows, func(i, j int) bool { return CompareRows(out.Rows[i], out.Rows[j]) < 0 })
 	return out
 }
 
-func lessRow(a, b []storage.Word) bool {
+// CompareRows is the total order behind canonical result comparison:
+// lexicographic over the shared prefix, ties broken by length. Equal rows
+// (and only equal rows) compare 0, so sorting by it leaves no
+// engine-dependent freedom in the canonical order.
+func CompareRows(a, b []storage.Word) int {
 	for i := range a {
 		if i >= len(b) {
-			return false
+			return 1
 		}
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
 }
 
 // Equal reports whether two result sets hold identical rows in identical

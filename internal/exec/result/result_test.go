@@ -51,6 +51,36 @@ func TestSortedIsCanonical(t *testing.T) {
 	}
 }
 
+// TestSortedDeterministicWithDuplicates: the canonical order is a total
+// order, so sets holding many duplicate rows canonicalize to bit-identical
+// forms regardless of the producing engine's row order.
+func TestSortedDeterministicWithDuplicates(t *testing.T) {
+	rowAt := func(i int) []storage.Word { return []storage.Word{w(int64(i % 3)), w(int64(i % 2))} }
+	a, b := mkSet(), mkSet()
+	const n = 60 // every distinct row appears 10 times
+	for i := 0; i < n; i++ {
+		a.Append(rowAt(i))
+		b.Append(rowAt(n - 1 - i)) // reversed producer order
+	}
+	if !Equal(a.Sorted(), b.Sorted()) {
+		t.Fatal("duplicate-heavy sets canonicalize differently")
+	}
+	if !EqualUnordered(a, b) {
+		t.Fatal("duplicate-heavy sets must be EqualUnordered")
+	}
+}
+
+func TestCompareRowsTotalOrder(t *testing.T) {
+	short := []storage.Word{w(1)}
+	long := []storage.Word{w(1), w(2)}
+	if CompareRows(short, long) != -1 || CompareRows(long, short) != 1 {
+		t.Error("shorter prefix must order first")
+	}
+	if CompareRows(long, long) != 0 {
+		t.Error("equal rows must compare 0")
+	}
+}
+
 // TestArenaRowsSurviveChunkGrowth: rows handed out before a chunk fills
 // must stay intact after the arena moves to fresh chunks — the invariant
 // that lets Set.Rows keep plain slice views.

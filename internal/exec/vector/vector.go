@@ -15,8 +15,10 @@ package vector
 
 import (
 	"repro/internal/exec"
+	"repro/internal/exec/joinpar"
 	"repro/internal/exec/par"
 	"repro/internal/exec/result"
+	"repro/internal/exec/sortpar"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -100,10 +102,15 @@ func build(n plan.Node, c *plan.Catalog, opt par.Options) biter {
 		return newAgg(v, c, opt)
 	case plan.Sort:
 		return newMaterialized(n, c, func(rows [][]storage.Word) [][]storage.Word {
-			exec.SortRows(rows, v.Keys)
+			sortpar.Sort(rows, v.Keys, opt)
 			return rows
 		}, v.Child, opt)
 	case plan.Limit:
+		// ORDER BY … LIMIT k fuses into a bounded top-N heap: the sort
+		// retains at most k rows instead of materializing the child.
+		if srt, ok := v.Child.(plan.Sort); ok {
+			return newTopN(srt, v.N, c, opt)
+		}
 		return &limitIt{child: build(v.Child, c, opt), n: v.N}
 	}
 	panic("vector: unsupported plan node")
@@ -327,13 +334,12 @@ func (p *projectIt) next() (batch, bool) {
 	return p.out, true
 }
 
-// joinIt builds the left side eagerly — into one flat row-major buffer
-// keyed by row indices, mirroring the jit engine's probe table — and
-// probes right batches.
+// joinIt builds the left side eagerly — through joinpar.Build, which
+// radix-partitions the rows under parallel options and mirrors the jit
+// engine's flat probe table when serial — and probes right batches.
 type joinIt struct {
 	right      biter
-	build      []storage.Word // flat build rows, stride leftWidth
-	table      map[storage.Word][]int32
+	jt         *joinpar.Table
 	rkey       int
 	leftWidth  int
 	rightWidth int
@@ -342,10 +348,10 @@ type joinIt struct {
 
 func newJoin(v plan.HashJoin, c *plan.Catalog, opt par.Options) *joinIt {
 	leftIt := build(v.Left, c, opt)
-	table := map[storage.Word][]int32{}
 	leftWidth := len(plan.Output(v.Left, c))
+	// Batches append straight into the flat row-major form BuildFlat
+	// consumes: serial builds adopt the buffer without another copy.
 	var flat []storage.Word
-	rows := 0
 	for {
 		b, ok := leftIt.next()
 		if !ok {
@@ -355,15 +361,11 @@ func newJoin(v plan.HashJoin, c *plan.Catalog, opt par.Options) *joinIt {
 			for i := 0; i < leftWidth; i++ {
 				flat = append(flat, b.cols[i][r])
 			}
-			k := b.cols[v.LeftKey][r]
-			table[k] = append(table[k], int32(rows))
-			rows++
 		}
 	}
 	return &joinIt{
 		right:      build(v.Right, c, opt),
-		build:      flat,
-		table:      table,
+		jt:         joinpar.BuildFlat(flat, v.LeftKey, leftWidth, opt),
 		rkey:       v.RightKey,
 		leftWidth:  leftWidth,
 		rightWidth: len(plan.Output(v.Right, c)),
@@ -384,9 +386,9 @@ func (j *joinIt) next() (batch, bool) {
 		}
 		n := 0
 		for r := 0; r < in.n; r++ {
-			matches := j.table[in.cols[j.rkey][r]]
+			matches, flat := j.jt.Lookup(in.cols[j.rkey][r])
 			for _, m := range matches {
-				l := j.build[int(m)*j.leftWidth:]
+				l := flat[int(m)*j.leftWidth:]
 				for i := 0; i < j.leftWidth; i++ {
 					j.out.cols[i] = append(j.out.cols[i], l[i])
 				}
@@ -531,6 +533,33 @@ func (m *materializedIt) next() (batch, bool) {
 	}
 	m.pos = hi
 	return b, true
+}
+
+// newTopN is the fused Sort+Limit breaker: it drains the sort child's
+// batches through a bounded k-element heap (rows are copied only when they
+// enter the retained set), so a top-N query materializes O(k) sorted rows
+// instead of the child's full output. The emitted rows are bit-identical
+// to stable-sort-then-truncate: ties break by stream position.
+func newTopN(v plan.Sort, k int, c *plan.Catalog, opt par.Options) *materializedIt {
+	it := build(v.Child, c, opt)
+	t := sortpar.NewTopN(v.Keys, k)
+	var row []storage.Word
+	seq := 0
+	for {
+		b, ok := it.next()
+		if !ok {
+			break
+		}
+		for r := 0; r < b.n; r++ {
+			row = row[:0]
+			for i := range b.cols {
+				row = append(row, b.cols[i][r])
+			}
+			t.Offer(row, 0, seq)
+			seq++
+		}
+	}
+	return &materializedIt{rows: sortpar.MergeTopN([]*sortpar.TopN{t}, v.Keys, k)}
 }
 
 // limitIt truncates the stream.

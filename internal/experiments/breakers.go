@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/exec/jit"
+	"repro/internal/exec/joinpar"
+	"repro/internal/exec/par"
+	"repro/internal/exec/vector"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// breakersWorkerSweep is the fixed worker sweep of the report: the table
+// shape stays stable across machines; cells beyond the core count simply
+// plateau.
+var breakersWorkerSweep = []int{1, 2, 4, 8}
+
+// Breakers measures the parallelized pipeline breakers (not a paper
+// figure — the paper is single-core; this experiment prices scaling the
+// breakers the way Fig3's workers cells price scaling the scan): full
+// sort, fused top-N, and hash-join build+probe on the Figure 3 relation,
+// for the jit and vector engines across a worker sweep, plus the isolated
+// radix-partitioned build.
+func Breakers(opt Options) *Report {
+	rows := 1_000_000
+	repeats := 3
+	if opt.Quick {
+		rows = 150_000
+		repeats = 1
+	}
+	setup := NewFig3Setup(rows)
+	cat := setup.Catalogs["column"]
+
+	sortPlan := plan.Sort{
+		Child: plan.Scan{
+			Table:  "R",
+			Filter: expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(800_000)},
+			Cols:   []int{1, 2, 0},
+		},
+		Keys: []plan.SortKey{{Pos: 0}, {Pos: 1, Desc: true}},
+	}
+	topnPlan := plan.Limit{N: 100, Child: sortPlan}
+	joinPlan := plan.HashJoin{
+		Left: plan.Scan{Table: "R", Cols: []int{0, 1}},
+		Right: plan.Scan{
+			Table:  "R",
+			Filter: expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(100_000)},
+			Cols:   []int{0, 2},
+		},
+		LeftKey:  0,
+		RightKey: 0,
+	}
+
+	rep := &Report{
+		ID:     "breakers",
+		Title:  fmt.Sprintf("parallel pipeline breakers: sort / top-N / join build (%d tuples, column layout)", rows),
+		Header: append([]string{"operation"}, sweepLabels()...),
+		Notes: []string{
+			"sort = ORDER BY two duplicate-heavy keys over a 80%-selective scan (full materialization)",
+			"topn = the same ORDER BY with LIMIT 100 fused into the bounded top-N operator",
+			"join = build full-table side + probe 10%-selective side (build radix-partitions when parallel)",
+			"build-only = joinpar.Build over the materialized build rows (histogram, scatter, tables)",
+			"results are bit-identical across the sweep; see TestParallelSortMatchesSerial etc.",
+		},
+	}
+
+	for _, spec := range []struct {
+		name string
+		p    plan.Node
+	}{{"sort", sortPlan}, {"topn", topnPlan}, {"join", joinPlan}} {
+		for _, engineName := range []string{"jit", "vector"} {
+			row := []string{spec.name + "/" + engineName}
+			for _, w := range breakersWorkerSweep {
+				e := breakersEngine(engineName, w)
+				row = append(row, fmtDur(medianTime(repeats, func() { e.Run(spec.p, cat) })))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+
+	// Isolated build: materialize the build rows once, time Build alone.
+	buildRows := jit.New().Run(joinPlan.Left, cat).Rows
+	row := []string{"build-only"}
+	for _, w := range breakersWorkerSweep {
+		o := par.Options{Workers: w}
+		row = append(row, fmtDur(medianTime(repeats, func() { joinpar.Build(buildRows, 0, 2, o) })))
+	}
+	rep.Rows = append(rep.Rows, row)
+	return rep
+}
+
+func breakersEngine(name string, workers int) exec.Engine {
+	opt := par.Options{Workers: workers}
+	if name == "vector" {
+		if workers == 1 {
+			return vector.New()
+		}
+		return vector.NewParallel(opt)
+	}
+	if workers == 1 {
+		return jit.New()
+	}
+	return jit.NewParallel(opt)
+}
+
+func sweepLabels() []string {
+	out := make([]string, len(breakersWorkerSweep))
+	for i, w := range breakersWorkerSweep {
+		out[i] = fmt.Sprintf("w=%d", w)
+	}
+	return out
+}

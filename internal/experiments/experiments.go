@@ -139,6 +139,7 @@ func ByID(id string) func(Options) *Report {
 		"ablation-cuts":   AblationCuts,
 		"ablation-sparse": AblationSparse,
 		"ingest":          Ingest,
+		"breakers":        Breakers,
 	}
 	return m[id]
 }
@@ -147,7 +148,7 @@ func ByID(id string) func(Options) *Report {
 func IDs() []string {
 	ids := []string{
 		"fig3", "fig6", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5",
-		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest",
+		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest", "breakers",
 	}
 	sort.Strings(ids)
 	return ids

@@ -82,7 +82,7 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("unmarshal %s: %v", data, err)
 			}
-			if !reflect.DeepEqual(normalize(p), normalize(back)) {
+			if !reflect.DeepEqual(canonTree(p), canonTree(back)) {
 				t.Fatalf("round trip drifted:\n in: %#v\nout: %#v\nvia: %s", p, back, data)
 			}
 			// The canonical encoding must be stable: it doubles as the
@@ -101,42 +101,42 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 // normalize rewrites representation-level slack that DeepEqual would trip
 // over: a nil Cols/GroupBy slice decodes as empty, and a CodeSet compares
 // by contents.
-func normalize(n Node) Node {
+func canonTree(n Node) Node {
 	switch v := n.(type) {
 	case Scan:
 		v.Cols = append([]int{}, v.Cols...)
-		v.Filter = normalizePred(v.Filter)
+		v.Filter = canonSetPred(v.Filter)
 		return v
 	case Select:
-		v.Child = normalize(v.Child)
-		v.Pred = normalizePred(v.Pred)
+		v.Child = canonTree(v.Child)
+		v.Pred = canonSetPred(v.Pred)
 		return v
 	case Project:
-		v.Child = normalize(v.Child)
+		v.Child = canonTree(v.Child)
 		if v.Names == nil {
 			v.Names = []string{}
 		}
 		return v
 	case HashJoin:
-		v.Left = normalize(v.Left)
-		v.Right = normalize(v.Right)
+		v.Left = canonTree(v.Left)
+		v.Right = canonTree(v.Right)
 		return v
 	case Aggregate:
-		v.Child = normalize(v.Child)
+		v.Child = canonTree(v.Child)
 		v.GroupBy = append([]int{}, v.GroupBy...)
 		return v
 	case Sort:
-		v.Child = normalize(v.Child)
+		v.Child = canonTree(v.Child)
 		return v
 	case Limit:
-		v.Child = normalize(v.Child)
+		v.Child = canonTree(v.Child)
 		return v
 	default:
 		return n
 	}
 }
 
-func normalizePred(p expr.Pred) expr.Pred {
+func canonSetPred(p expr.Pred) expr.Pred {
 	switch v := p.(type) {
 	case expr.InSet:
 		// Rebuild through the serialized form so bitset-internal slack
@@ -145,13 +145,13 @@ func normalizePred(p expr.Pred) expr.Pred {
 	case expr.And:
 		out := make([]expr.Pred, len(v.Preds))
 		for i, c := range v.Preds {
-			out[i] = normalizePred(c)
+			out[i] = canonSetPred(c)
 		}
 		return expr.And{Preds: out}
 	case expr.Or:
 		out := make([]expr.Pred, len(v.Preds))
 		for i, c := range v.Preds {
-			out[i] = normalizePred(c)
+			out[i] = canonSetPred(c)
 		}
 		return expr.Or{Preds: out}
 	default:

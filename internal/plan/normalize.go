@@ -1,0 +1,107 @@
+package plan
+
+import (
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// Normalize returns a structurally identical copy of the plan with every
+// bound constant replaced by a zero placeholder: comparison and range
+// bounds become 0, code sets become empty, scalar constants become 0, and
+// insert tuples are dropped. Two plans normalize to the same tree exactly
+// when they differ only in parameter values.
+//
+// The serving layer fingerprints plans with it to measure plan-cache
+// pressure: the compiled-plan cache must key on the full plan (compiled
+// forms bake constants into their fused loops), so a workload sweeping a
+// parameter creates one cache entry per distinct constant. The ratio of
+// cache keys to normalized shapes quantifies that blowup; collapsing it
+// for real would take parameter binding (prepared plans with placeholder
+// slots), a recorded follow-up.
+func Normalize(n Node) Node {
+	switch v := n.(type) {
+	case Scan:
+		v.Filter = normalizePred(v.Filter)
+		return v
+	case Select:
+		v.Child = Normalize(v.Child)
+		v.Pred = normalizePred(v.Pred)
+		return v
+	case Project:
+		v.Child = Normalize(v.Child)
+		exprs := make([]expr.Expr, len(v.Exprs))
+		for i, e := range v.Exprs {
+			exprs[i] = normalizeExpr(e)
+		}
+		v.Exprs = exprs
+		return v
+	case HashJoin:
+		v.Left = Normalize(v.Left)
+		v.Right = Normalize(v.Right)
+		return v
+	case Aggregate:
+		v.Child = Normalize(v.Child)
+		aggs := make([]expr.AggSpec, len(v.Aggs))
+		for i, a := range v.Aggs {
+			if a.Arg != nil {
+				a.Arg = normalizeExpr(a.Arg)
+			}
+			aggs[i] = a
+		}
+		v.Aggs = aggs
+		return v
+	case Sort:
+		v.Child = Normalize(v.Child)
+		return v
+	case Limit:
+		v.Child = Normalize(v.Child)
+		v.N = 0
+		return v
+	case Insert:
+		v.Rows = nil
+		return v
+	}
+	return n
+}
+
+func normalizePred(p expr.Pred) expr.Pred {
+	switch v := p.(type) {
+	case expr.Cmp:
+		v.Val = 0
+		return v
+	case expr.Between:
+		v.Lo, v.Hi = 0, 0
+		return v
+	case expr.InSet:
+		v.Set = storage.NewCodeSet(nil, 0)
+		return v
+	case expr.And:
+		preds := make([]expr.Pred, len(v.Preds))
+		for i, c := range v.Preds {
+			preds[i] = normalizePred(c)
+		}
+		return expr.And{Preds: preds}
+	case expr.Or:
+		preds := make([]expr.Pred, len(v.Preds))
+		for i, c := range v.Preds {
+			preds[i] = normalizePred(c)
+		}
+		return expr.Or{Preds: preds}
+	default: // NotNull, True, nil carry no constants
+		return p
+	}
+}
+
+func normalizeExpr(e expr.Expr) expr.Expr {
+	switch v := e.(type) {
+	case expr.Const:
+		v.Val = 0
+		return v
+	case expr.Arith:
+		v.L = normalizeExpr(v.L)
+		v.R = normalizeExpr(v.R)
+		return v
+	default: // Col carries no constants
+		return e
+	}
+}

@@ -1,0 +1,80 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+func shapeOf(t *testing.T, n Node) []byte {
+	t.Helper()
+	data, err := MarshalNode(Normalize(n))
+	if err != nil {
+		t.Fatalf("marshal normalized plan: %v", err)
+	}
+	return data
+}
+
+// TestNormalizeCollapsesConstants: plans differing only in bound constants
+// share one normalized shape; structural differences keep shapes distinct.
+func TestNormalizeCollapsesConstants(t *testing.T) {
+	q := func(threshold int64, k int) Node {
+		return Limit{N: k, Child: Sort{
+			Child: Select{
+				Child: Scan{Table: "R", Filter: expr.And{Preds: []expr.Pred{
+					expr.Cmp{Attr: 0, Op: expr.Lt, Val: storage.EncodeInt(threshold)},
+					expr.Between{Attr: 1, Lo: storage.EncodeInt(1), Hi: storage.EncodeInt(9)},
+				}}, Cols: []int{0, 1, 2}},
+				Pred: expr.Cmp{Attr: 2, Op: expr.Ge, Val: storage.EncodeInt(threshold / 2)},
+			},
+			Keys: []SortKey{{Pos: 1, Desc: true}},
+		}}
+	}
+	a, b := shapeOf(t, q(100, 5)), shapeOf(t, q(99_999, 7))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("constant-only variants normalize to different shapes:\n%s\n%s", a, b)
+	}
+	c := shapeOf(t, q(100, 5).(Limit).Child) // drop the Limit: different shape
+	if bytes.Equal(a, c) {
+		t.Fatal("structurally different plans must keep distinct shapes")
+	}
+}
+
+// TestNormalizeCoversAllConstants walks the remaining constant carriers:
+// projection arithmetic, aggregate arguments, code sets, insert rows.
+func TestNormalizeCoversAllConstants(t *testing.T) {
+	set1 := storage.NewCodeSet([]storage.Word{1, 2}, 8)
+	set2 := storage.NewCodeSet([]storage.Word{5}, 8)
+	q := func(set *storage.CodeSet, c int64) Node {
+		return Aggregate{
+			Child: Project{
+				Child: Scan{Table: "R", Filter: expr.InSet{Attr: 0, Set: set}, Cols: []int{0, 1}},
+				Exprs: []expr.Expr{expr.Arith{Op: expr.Add, L: expr.IntCol(0), R: expr.IntConst(c)}},
+				Names: []string{"x"},
+			},
+			Aggs: []expr.AggSpec{{Kind: expr.Sum, Arg: expr.Arith{Op: expr.Mul, L: expr.IntCol(0), R: expr.IntConst(c)}, Name: "s"}},
+		}
+	}
+	if !bytes.Equal(shapeOf(t, q(set1, 3)), shapeOf(t, q(set2, 44))) {
+		t.Fatal("expression constants not normalized out")
+	}
+	ins1 := Insert{Table: "R", Rows: [][]storage.Word{{1, 2}}}
+	ins2 := Insert{Table: "R", Rows: [][]storage.Word{{3, 4}, {5, 6}}}
+	if !bytes.Equal(shapeOf(t, ins1), shapeOf(t, ins2)) {
+		t.Fatal("insert tuples not normalized out")
+	}
+}
+
+// TestNormalizeDoesNotMutate: the original plan's constants survive.
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	p := Select{
+		Child: Scan{Table: "R", Cols: []int{0}},
+		Pred:  expr.And{Preds: []expr.Pred{expr.Cmp{Attr: 0, Op: expr.Eq, Val: storage.EncodeInt(42)}}},
+	}
+	Normalize(p)
+	if got := p.Pred.(expr.And).Preds[0].(expr.Cmp).Val; got != storage.EncodeInt(42) {
+		t.Fatalf("Normalize mutated the source plan: val = %d", got)
+	}
+}

@@ -110,15 +110,22 @@ type DB struct {
 }
 
 // planLRU is the compiled-plan cache: most recent at the list front,
-// eviction from the back. All access is under planMu.
+// eviction from the back. Alongside the full-plan keys it tracks how many
+// distinct normalized shapes (plan.Normalize — constants stripped) the
+// entries collapse to: keys must embed constants because compiled forms
+// bake them into their fused loops, so a parameter-sweeping workload costs
+// one entry per distinct constant, and keys ≫ shapes is the signature of
+// that blowup. All access is under planMu.
 type planLRU struct {
-	cap int
-	ll  *list.List
-	m   map[string]*list.Element
+	cap    int
+	ll     *list.List
+	m      map[string]*list.Element
+	shapes map[string]int // normalized shape key → entries holding it
 }
 
 type planLRUEntry struct {
 	key   string
+	shape string
 	entry *cachedPlan
 }
 
@@ -126,7 +133,12 @@ func newPlanLRU(capacity int) *planLRU {
 	if capacity <= 0 {
 		capacity = defaultPlanCacheSize
 	}
-	return &planLRU{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+	return &planLRU{
+		cap:    capacity,
+		ll:     list.New(),
+		m:      make(map[string]*list.Element, capacity),
+		shapes: map[string]int{},
+	}
 }
 
 // get returns the cached entry and marks it most recently used.
@@ -141,14 +153,16 @@ func (c *planLRU) get(key string) (*cachedPlan, bool) {
 
 // add inserts a new entry as most recently used and returns the number of
 // entries evicted to stay within the cap.
-func (c *planLRU) add(key string, entry *cachedPlan) int {
-	c.m[key] = c.ll.PushFront(&planLRUEntry{key: key, entry: entry})
+func (c *planLRU) add(key, shape string, entry *cachedPlan) int {
+	c.m[key] = c.ll.PushFront(&planLRUEntry{key: key, shape: shape, entry: entry})
+	c.shapes[shape]++
 	evicted := 0
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		kv := back.Value.(*planLRUEntry)
 		c.ll.Remove(back)
 		delete(c.m, kv.key)
+		c.dropShape(kv.shape)
 		evicted++
 	}
 	return evicted
@@ -159,6 +173,15 @@ func (c *planLRU) remove(key string, entry *cachedPlan) {
 	if el, ok := c.m[key]; ok && el.Value.(*planLRUEntry).entry == entry {
 		c.ll.Remove(el)
 		delete(c.m, key)
+		c.dropShape(el.Value.(*planLRUEntry).shape)
+	}
+}
+
+func (c *planLRU) dropShape(shape string) {
+	if n := c.shapes[shape] - 1; n > 0 {
+		c.shapes[shape] = n
+	} else {
+		delete(c.shapes, shape)
 	}
 }
 
@@ -166,6 +189,7 @@ func (c *planLRU) remove(key string, entry *cachedPlan) {
 func (c *planLRU) clear() {
 	c.ll.Init()
 	clear(c.m)
+	clear(c.shapes)
 }
 
 type cachedPlan struct {
@@ -384,7 +408,7 @@ func (s *DB) run(p plan.Node, key string) (*result.Set, error) {
 func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
 	s.catalogMu.RLock()
 	defer s.catalogMu.RUnlock()
-	entry := s.lookup(key)
+	entry := s.lookup(p, key)
 	entry.once.Do(func() {
 		if err := plan.Check(p, s.db.Catalog()); err != nil {
 			entry.err = err
@@ -438,21 +462,44 @@ const defaultPlanCacheSize = 1024
 
 // lookup returns the cache entry for key, creating it if needed. The
 // caller must hold the catalog lock (read is enough: entries are created
-// under planMu and compiled through their once).
-func (s *DB) lookup(key string) *cachedPlan {
+// under planMu and compiled through their once). New entries are tagged
+// with their normalized shape, computed outside the cache lock; misses pay
+// one extra marshal, hits none.
+func (s *DB) lookup(p plan.Node, key string) *cachedPlan {
+	s.planMu.Lock()
+	if entry, ok := s.plans.get(key); ok {
+		s.planMu.Unlock()
+		s.stats.planHits.Add(1)
+		return entry
+	}
+	s.planMu.Unlock()
+	shape := shapeKey(p, key)
+
 	s.planMu.Lock()
 	defer s.planMu.Unlock()
-	entry, ok := s.plans.get(key)
+	entry, ok := s.plans.get(key) // re-check: another miss may have raced us
 	if ok {
 		s.stats.planHits.Add(1)
-	} else {
-		s.stats.planMisses.Add(1)
-		entry = &cachedPlan{}
-		if evicted := s.plans.add(key, entry); evicted > 0 {
-			s.stats.planEvictions.Add(int64(evicted))
-		}
+		return entry
+	}
+	s.stats.planMisses.Add(1)
+	entry = &cachedPlan{}
+	if evicted := s.plans.add(key, shape, entry); evicted > 0 {
+		s.stats.planEvictions.Add(int64(evicted))
 	}
 	return entry
+}
+
+// shapeKey fingerprints the plan with constants normalized out; on a
+// marshal failure the full key doubles as the shape (over-counting shapes
+// is safer than conflating them).
+func shapeKey(p plan.Node, fallback string) string {
+	data, err := plan.MarshalNode(plan.Normalize(p))
+	if err != nil {
+		return fallback
+	}
+	sum := sha256.Sum256(data)
+	return string(sum[:])
 }
 
 // forget drops a cache entry that turned out not to be worth keeping
@@ -617,34 +664,41 @@ type Stats struct {
 	LoadedRows     int64 `json:"loadedRows"`         // rows ingested by bulk loads
 	PlanCacheSize  int   `json:"planCacheSize"`      // current entry count
 	PlanCacheLimit int   `json:"planCacheLimit"`     // LRU capacity
+	// PlanCacheShapes counts the distinct constant-normalized plan shapes
+	// behind the cached entries. Keys embed constants (compiled plans bake
+	// them in), so size ≫ shapes means a parameter-sweeping workload is
+	// churning the LRU with variants of few queries — the case parameter
+	// binding would collapse.
+	PlanCacheShapes int `json:"planCacheShapes"`
 }
 
 // Stats snapshots the counters.
 func (s *DB) Stats() Stats {
 	s.planMu.Lock()
-	cacheLen, cacheCap := s.plans.ll.Len(), s.plans.cap
+	cacheLen, cacheCap, cacheShapes := s.plans.ll.Len(), s.plans.cap, len(s.plans.shapes)
 	s.planMu.Unlock()
 	st := Stats{
-		Queries:        s.stats.queries.Load(),
-		Failed:         s.stats.failed.Load(),
-		Queued:         s.stats.queued.Load(),
-		Rejected:       s.stats.rejected.Load(),
-		Prepared:       s.stats.prepared.Load(),
-		PlanCacheHits:  s.stats.planHits.Load(),
-		PlanCacheMiss:  s.stats.planMisses.Load(),
-		PlanEvictions:  s.stats.planEvictions.Load(),
-		Relayouts:      s.stats.relayouts.Load(),
-		Rows:           s.stats.rows.Load(),
-		ExecNanos:      s.stats.execNanos.Load(),
-		InFlight:       s.stats.inFlight.Load(),
-		Workers:        s.opt.WorkerCount(),
-		MaxInFlight:    cap(s.sem),
-		Checkpoints:    s.stats.checkpoints.Load(),
-		PersistErrors:  s.stats.persistErrs.Load(),
-		Loads:          s.stats.loads.Load(),
-		LoadedRows:     s.stats.loadedRows.Load(),
-		PlanCacheSize:  cacheLen,
-		PlanCacheLimit: cacheCap,
+		Queries:         s.stats.queries.Load(),
+		Failed:          s.stats.failed.Load(),
+		Queued:          s.stats.queued.Load(),
+		Rejected:        s.stats.rejected.Load(),
+		Prepared:        s.stats.prepared.Load(),
+		PlanCacheHits:   s.stats.planHits.Load(),
+		PlanCacheMiss:   s.stats.planMisses.Load(),
+		PlanEvictions:   s.stats.planEvictions.Load(),
+		Relayouts:       s.stats.relayouts.Load(),
+		Rows:            s.stats.rows.Load(),
+		ExecNanos:       s.stats.execNanos.Load(),
+		InFlight:        s.stats.inFlight.Load(),
+		Workers:         s.opt.WorkerCount(),
+		MaxInFlight:     cap(s.sem),
+		Checkpoints:     s.stats.checkpoints.Load(),
+		PersistErrors:   s.stats.persistErrs.Load(),
+		Loads:           s.stats.loads.Load(),
+		LoadedRows:      s.stats.loadedRows.Load(),
+		PlanCacheSize:   cacheLen,
+		PlanCacheLimit:  cacheCap,
+		PlanCacheShapes: cacheShapes,
 	}
 	if s.persist != nil {
 		st.Persistent = true

@@ -50,6 +50,37 @@ func TestServiceQueryMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestServicePlanCacheShapes: constant-varying repeats of one query create
+// one cache entry each but collapse to a single normalized shape — the
+// /stats signal for parameter-sweep cache blowup.
+func TestServicePlanCacheShapes(t *testing.T) {
+	s := New(NewDemoDB(testRows), Config{Workers: 1, PlanCacheSize: 8})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Query(DemoQuery(float64(i+1) * 0.01)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Query(plan.Scan{Table: "R", Cols: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PlanCacheSize != 6 || st.PlanCacheShapes != 2 {
+		t.Fatalf("cache size=%d shapes=%d, want 6 entries over 2 shapes", st.PlanCacheSize, st.PlanCacheShapes)
+	}
+	// Eviction must release shape counts: 8 more sweep variants overflow
+	// the 8-entry LRU; every resident entry is a sweep variant afterwards.
+	for i := 0; i < 8; i++ {
+		if _, err := s.Query(DemoQuery(float64(i+1) * 0.001)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.Stats()
+	if st.PlanCacheSize != 8 || st.PlanCacheShapes != 1 {
+		t.Fatalf("after eviction: size=%d shapes=%d, want 8 entries over 1 shape", st.PlanCacheSize, st.PlanCacheShapes)
+	}
+}
+
 func TestServicePlanCache(t *testing.T) {
 	s := New(NewDemoDB(testRows), Config{Workers: 2})
 	defer s.Close()
