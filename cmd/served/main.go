@@ -4,6 +4,7 @@
 //
 //	served -addr :8080 -rows 1000000 -workers 0
 //	served -addr :8080 -data-dir ./data          # durable: snapshot + WAL
+//	served -addr :8081 -replica-of http://primary:8080
 //
 // Endpoints:
 //
@@ -15,13 +16,24 @@
 //	POST /checkpoint {}                      snapshot the catalog, reset the WAL
 //	GET  /tables                             list served tables
 //	GET  /stats                              service counters
+//	GET  /repl/snapshot                      (with -data-dir) replication bootstrap
+//	GET  /repl/wal?epoch=E&offset=N          (with -data-dir) WAL tail long-poll
 //
 // With -data-dir, the catalog (schemas, optimizer-chosen layouts,
 // partition data, dictionaries, index definitions) is recovered from the
 // directory's snapshot plus WAL on startup, and every insert, bulk load
 // and re-layout is logged. -restore=false wipes the directory's state
 // instead of recovering. A checkpoint runs automatically when the WAL
-// exceeds -checkpoint-wal-mb.
+// exceeds -checkpoint-wal-mb. -wal-coalesce-ms merges consecutive insert
+// records inside the window into one framed record (smaller logs and
+// shipped streams, durability weakens to "within the window").
+//
+// With -replica-of, the process is a read-only replica: it bootstraps its
+// catalog from the primary's snapshot, tails the primary's WAL (applying
+// records through the recovery replay path, so its physical design stays
+// bit-identical), serves /query, /prepare and /exec like a primary, and
+// answers local writes with 409 naming the primary. Replicas keep no data
+// directory — a restarted replica re-bootstraps from the primary.
 //
 // The demo dataset is the paper's example relation R(A..P) with A uniform
 // over [0, 1e6), so the Figure 2 query
@@ -38,6 +50,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +59,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/service"
 )
 
@@ -60,8 +74,24 @@ func main() {
 		restore     = flag.Bool("restore", true, "with -data-dir: recover existing snapshot + WAL (false wipes them)")
 		fsync       = flag.Bool("fsync", false, "with -data-dir: fsync WAL commits and snapshots")
 		ckptWALMB   = flag.Int("checkpoint-wal-mb", 64, "with -data-dir: WAL size triggering a background checkpoint (<= 0 disables)")
+		coalesceMS  = flag.Int("wal-coalesce-ms", 0, "with -data-dir: coalesce consecutive insert WAL records within this window (0 = off)")
+		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this URL (in-memory)")
 	)
 	flag.Parse()
+
+	cfg := service.Config{
+		Workers:      *workers,
+		MaxInFlight:  *maxInFlight,
+		QueueTimeout: *queueWait,
+	}
+
+	if *replicaOf != "" {
+		if *dataDir != "" {
+			log.Fatal("-replica-of replicas are in-memory (they bootstrap from the primary); drop -data-dir")
+		}
+		runReplica(*addr, *replicaOf, cfg)
+		return
+	}
 
 	var (
 		db  *core.DB
@@ -77,6 +107,11 @@ func main() {
 		if n := len(db.Catalog().Names()); n > 0 {
 			log.Printf("recovered %d table(s) from %s", n, *dataDir)
 		}
+		if *coalesceMS > 0 {
+			if err := mgr.SetCoalesce(time.Duration(*coalesceMS)*time.Millisecond, 0); err != nil {
+				log.Fatalf("enabling WAL coalescing: %v", err)
+			}
+		}
 	} else {
 		db = core.Open()
 	}
@@ -91,12 +126,9 @@ func main() {
 		service.DemoWorkload(db) // declared mix, so POST /optimize has something to optimize
 	}
 
-	s := service.New(db, service.Config{
-		Workers:      *workers,
-		MaxInFlight:  *maxInFlight,
-		QueueTimeout: *queueWait,
-	})
+	s := service.New(db, cfg)
 	defer s.Close()
+	handler := s.Handler()
 	if mgr != nil {
 		threshold := int64(*ckptWALMB) << 20
 		if *ckptWALMB <= 0 {
@@ -108,10 +140,42 @@ func main() {
 				log.Fatalf("initial checkpoint: %v", err)
 			}
 		}
+		// A durable primary can feed replicas: mount the shipping endpoints.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		repl.NewPrimary(s, mgr).Mount(mux)
+		handler = mux
 	}
 
 	st := s.Stats()
 	fmt.Printf("served: listening on %s (workers=%d, max in-flight=%d, durable=%v)\n",
 		*addr, st.Workers, st.MaxInFlight, st.Persistent)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// runReplica bootstraps from the primary (retrying while it comes up),
+// then serves reads while a background goroutine tails the WAL.
+func runReplica(addr, primary string, cfg service.Config) {
+	s := service.New(core.Open(), cfg)
+	defer s.Close()
+	s.SetReadOnly(primary)
+
+	rep := repl.NewReplica(s, primary)
+	var err error
+	for attempt := 0; attempt < 60; attempt++ {
+		if err = rep.Bootstrap(); err == nil {
+			break
+		}
+		log.Printf("replica bootstrap from %s: %v (retrying)", primary, err)
+		time.Sleep(500 * time.Millisecond)
+	}
+	if err != nil {
+		log.Fatalf("replica bootstrap from %s: %v", primary, err)
+	}
+	go rep.Run(context.Background())
+
+	st := s.Stats()
+	fmt.Printf("served: replica of %s listening on %s (workers=%d, %d table(s) restored)\n",
+		primary, addr, st.Workers, len(s.Tables()))
+	log.Fatal(http.ListenAndServe(addr, s.Handler()))
 }

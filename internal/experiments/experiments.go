@@ -140,6 +140,7 @@ func ByID(id string) func(Options) *Report {
 		"ablation-sparse": AblationSparse,
 		"ingest":          Ingest,
 		"breakers":        Breakers,
+		"repl":            Repl,
 	}
 	return m[id]
 }
@@ -148,7 +149,7 @@ func ByID(id string) func(Options) *Report {
 func IDs() []string {
 	ids := []string{
 		"fig3", "fig6", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5",
-		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest", "breakers",
+		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest", "breakers", "repl",
 	}
 	sort.Strings(ids)
 	return ids

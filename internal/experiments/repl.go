@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/service"
+	"repro/internal/storage"
+)
+
+// Repl measures the log-shipping replication subsystem (not a paper
+// figure — the paper is single-node; replication is how the reproduction
+// scales its reads): WAL ship bandwidth for single-row insert streams
+// with and without record coalescing, and replica apply throughput
+// through the replicated-apply path (the recovery replay under the
+// service's write lock).
+func Repl(opt Options) *Report {
+	rows := 400_000
+	if opt.Quick {
+		rows = 50_000
+	}
+
+	rep := &Report{
+		ID:     "repl",
+		Title:  "WAL-shipping replication: ship bandwidth and apply throughput",
+		Header: []string{"stage", "rows", "bytes", "time", "throughput"},
+	}
+
+	// Ship bandwidth: a stream of single-row inserts — the worst framing
+	// overhead — raw vs coalesced.
+	var chunk []byte
+	var epoch uint64
+	for _, mode := range []struct {
+		name     string
+		coalesce bool
+		rows     int
+	}{
+		{"ship/single-row", false, rows / 4},
+		{"ship/coalesced", true, rows / 4},
+		// The apply corpus: batched records, like a bulk load would ship.
+		{"ship/batch-4096", false, rows},
+	} {
+		data, e, took := buildShipWAL(mode.rows, mode.coalesce, mode.name == "ship/batch-4096")
+		rep.Rows = append(rep.Rows, []string{
+			mode.name, fmt.Sprintf("%d", mode.rows), fmt.Sprintf("%d", len(data)),
+			fmtDur(took), fmt.Sprintf("%.2f bytes/row", float64(len(data))/float64(mode.rows)),
+		})
+		if mode.name == "ship/batch-4096" {
+			chunk, epoch = data, e
+		}
+	}
+
+	// Apply throughput: a fresh replica service consumes the shipped
+	// stream in 1 MB frame-aligned chunks, exactly as the tail loop does.
+	svc := service.New(core.Open(), service.Config{Workers: 1})
+	defer svc.Close()
+	applied := 0
+	start := time.Now()
+	for off := 0; off < len(chunk); {
+		end := off + 1<<20
+		if end > len(chunk) {
+			end = len(chunk)
+		}
+		consumed, n, err := svc.ApplyReplicated(chunk[off:end], epoch)
+		if err != nil {
+			panic(err)
+		}
+		if consumed == 0 {
+			end = len(chunk) // a frame larger than the window: take the rest
+			consumed, n, err = svc.ApplyReplicated(chunk[off:end], epoch)
+			if err != nil {
+				panic(err)
+			}
+		}
+		off += consumed
+		applied += n
+	}
+	took := time.Since(start)
+	rep.Rows = append(rep.Rows, []string{
+		"apply", fmt.Sprintf("%d", rows), fmt.Sprintf("%d", len(chunk)),
+		fmtDur(took), fmt.Sprintf("%.2f Mrows/s", float64(rows)/took.Seconds()/1e6),
+	})
+	if got := svc.Unwrap().Catalog().Table("t").Rows(); got != rows {
+		panic(fmt.Sprintf("replica applied %d rows, want %d", got, rows))
+	}
+
+	rep.Notes = append(rep.Notes,
+		"ship/* = committed WAL bytes for an insert stream (3 int64 columns)",
+		"coalesced = SetCoalesce merging consecutive single-row records (cap 4096 rows)",
+		fmt.Sprintf("apply = ApplyReplicated of %d records in 1 MB chunks on a fresh replica", applied),
+	)
+	return rep
+}
+
+// buildShipWAL logs an insert stream into a throwaway data directory and
+// returns the committed WAL (the shipped stream), its epoch and the
+// logging wall time.
+func buildShipWAL(rows int, coalesce, batched bool) ([]byte, uint64, time.Duration) {
+	dir, err := os.MkdirTemp("", "repl-ship-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	db, mgr, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		panic(err)
+	}
+	defer mgr.Close()
+	rel := storage.NewRelation(storage.NewSchema("t",
+		storage.Attribute{Name: "id", Type: storage.Int64},
+		storage.Attribute{Name: "grp", Type: storage.Int64},
+		storage.Attribute{Name: "val", Type: storage.Int64},
+	), storage.NSM(3))
+	db.AddTable(rel)
+	if err := mgr.LogCreateTable(db.Catalog(), "t"); err != nil {
+		panic(err)
+	}
+	if coalesce {
+		if err := mgr.SetCoalesce(time.Hour, 4096); err != nil {
+			panic(err)
+		}
+	}
+	per := 1
+	if batched {
+		per = 4096
+	}
+	start := time.Now()
+	batch := make([][]storage.Word, 0, per)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, []storage.Word{
+			storage.EncodeInt(int64(i)), storage.EncodeInt(int64(i % 7)), storage.EncodeInt(int64(i % 100)),
+		})
+		if len(batch) == per {
+			if err := mgr.LogInsert("t", 3, batch); err != nil {
+				panic(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := mgr.LogInsert("t", 3, batch); err != nil {
+			panic(err)
+		}
+	}
+	if err := mgr.Flush(); err != nil {
+		panic(err)
+	}
+	took := time.Since(start)
+	tail, err := mgr.TailRead(mgr.Epoch(), 0, 1<<31-1)
+	if err != nil {
+		panic(err)
+	}
+	return tail.Data, tail.Epoch, took
+}

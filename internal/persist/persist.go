@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/plan"
@@ -62,8 +63,20 @@ type Manager struct {
 	dir   string
 	fsync bool
 
-	mu sync.Mutex // serializes WAL file operations against rotation
-	w  *wal
+	mu     sync.Mutex // serializes WAL file operations against rotation
+	w      *wal
+	reader *os.File // read side of the WAL, for replication tails
+
+	// committed is the flushed, frame-aligned prefix of the WAL — the
+	// bytes a replica may tail. records counts the mutation records in
+	// that prefix (the leading epoch record is excluded). notify is
+	// closed and replaced on every commit and rotation, waking parked
+	// long-poll tails.
+	committed int64
+	records   int64
+	notify    chan struct{}
+
+	co coalesce // insert-record coalescing state (see SetCoalesce)
 
 	epoch       uint64 // current checkpoint epoch (snapshot and WAL agree)
 	checkpoints int64
@@ -100,21 +113,38 @@ func Open(opts Options) (*core.DB, *Manager, error) {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	}
-	if _, err := replayWAL(walPath, db, epoch); err != nil {
+	applied, err := replayWAL(walPath, db, epoch)
+	if err != nil {
 		return nil, nil, err
 	}
 	w, err := openWAL(walPath, opts.Fsync)
 	if err != nil {
 		return nil, nil, err
 	}
-	return db, &Manager{dir: opts.Dir, fsync: opts.Fsync, w: w, epoch: epoch}, nil
+	reader, err := os.Open(walPath)
+	if err != nil {
+		w.close()
+		return nil, nil, err
+	}
+	return db, &Manager{
+		dir: opts.Dir, fsync: opts.Fsync, w: w, reader: reader,
+		committed: w.size, records: int64(applied), epoch: epoch,
+	}, nil
 }
 
-// Close flushes and closes the WAL.
+// Close flushes (including any coalesced pending batch) and closes the
+// WAL.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.w.close()
+	err := m.flushPendingLocked()
+	if cerr := m.w.close(); err == nil {
+		err = cerr
+	}
+	if cerr := m.reader.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // WALSize returns the current WAL length in bytes (committed plus
@@ -140,9 +170,33 @@ func (m *Manager) Checkpoints() int64 {
 	return m.checkpoints
 }
 
-// LogInsert records appended tuples (in schema attribute order).
+// LogInsert records appended tuples (in schema attribute order). With
+// coalescing enabled (SetCoalesce), consecutive inserts into the same
+// table merge into one framed record instead of committing immediately.
 func (m *Manager) LogInsert(table string, width int, rows [][]storage.Word) error {
-	return m.commit(walInsertBody(table, width, rows))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.co.window <= 0 {
+		return m.commitLocked(walInsertBody(table, width, rows))
+	}
+	if err := m.co.err; err != nil {
+		m.co.err = nil
+		return err
+	}
+	if len(m.co.rows) > 0 && (m.co.table != table || m.co.width != width) {
+		if err := m.flushPendingLocked(); err != nil {
+			return err
+		}
+	}
+	if len(m.co.rows) == 0 {
+		m.co.table, m.co.width = table, width
+		m.co.timer = time.AfterFunc(m.co.window, m.flushTimer)
+	}
+	m.co.rows = append(m.co.rows, rows...)
+	if len(m.co.rows) >= m.co.maxRows {
+		return m.flushPendingLocked()
+	}
+	return nil
 }
 
 // LogCreateTable records a table creation with its current content —
@@ -169,14 +223,23 @@ func (m *Manager) LogDictAppend(table string, attr int, values []string) error {
 	return m.commit(walDictAppendBody(table, attr, values))
 }
 
-// commit appends one record and makes the batch durable (group commit:
-// the record plus anything buffered before it). A WAL that was just
-// reset (or newly created) receives its leading epoch record in the
-// same commit — lazily, so an earlier failed stamp attempt can never
-// leave mutation records in a headerless log.
+// commit flushes any coalesced pending batch (preserving record order)
+// and then appends one record durably.
 func (m *Manager) commit(body []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.flushPendingLocked(); err != nil {
+		return err
+	}
+	return m.commitLocked(body)
+}
+
+// commitLocked appends one record and makes the batch durable (group
+// commit: the record plus anything buffered before it). A WAL that was
+// just reset (or newly created) receives its leading epoch record in
+// the same commit — lazily, so an earlier failed stamp attempt can
+// never leave mutation records in a headerless log.
+func (m *Manager) commitLocked(body []byte) error {
 	if !m.w.stamped {
 		if err := m.w.append(walEpochBody(m.epoch)); err != nil {
 			return err
@@ -186,7 +249,21 @@ func (m *Manager) commit(body []byte) error {
 	if err := m.w.append(body); err != nil {
 		return err
 	}
-	return m.w.commit()
+	if err := m.w.commit(); err != nil {
+		return err
+	}
+	m.committed = m.w.size
+	m.records++
+	m.wakeLocked()
+	return nil
+}
+
+// wakeLocked releases every goroutine parked on Changed().
+func (m *Manager) wakeLocked() {
+	if m.notify != nil {
+		close(m.notify)
+		m.notify = nil
+	}
 }
 
 // CheckpointInfo reports what a checkpoint did.
@@ -235,6 +312,10 @@ func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	dropped := m.w.size
+	// Coalesced rows still pending are already applied in memory, so the
+	// snapshot just written contains them: drop them instead of flushing
+	// a record the snapshot would duplicate.
+	m.dropPendingLocked()
 	if err := m.w.reset(); err != nil {
 		return CheckpointInfo{}, fmt.Errorf("persist: resetting WAL: %w", err)
 	}
@@ -243,7 +324,18 @@ func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
 	// consistent).
 	m.epoch = next
 	m.checkpoints++
+	m.committed = 0
+	m.records = 0
+	// Wake parked tails so followers of the discarded epoch learn about
+	// the rotation immediately instead of at their poll timeout.
+	m.wakeLocked()
 	return CheckpointInfo{SnapshotBytes: n, WALBytes: dropped}, nil
+}
+
+// SnapshotPath returns the path of the checkpoint snapshot inside the
+// data directory (the file may not exist before the first checkpoint).
+func (m *Manager) SnapshotPath() string {
+	return filepath.Join(m.dir, snapshotFile)
 }
 
 func syncDir(dir string) error {

@@ -1,0 +1,221 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Log shipping: the replication-facing side of the WAL. A replica
+// bootstraps from the checkpoint snapshot and then tails the committed
+// prefix of the primary's WAL with TailRead, shipping the raw CRC-framed
+// bytes so a torn or corrupted stream is detected exactly like a torn
+// local tail. A checkpoint rotates the epoch and discards the log, which
+// TailRead reports as ErrEpochGone — the follower's cue to re-fetch the
+// snapshot.
+
+// ErrEpochGone reports a tail request for a WAL epoch that a checkpoint
+// has rotated away (or an offset past the committed prefix, which means
+// the follower's log view no longer matches the primary's). The follower
+// must re-bootstrap from the current snapshot.
+var ErrEpochGone = errors.New("persist: WAL epoch rotated away, resync from snapshot")
+
+// Tail is one read of the committed WAL prefix.
+type Tail struct {
+	// Data holds whole CRC-framed records starting at the requested
+	// offset (never a partial frame; empty when the follower is caught
+	// up).
+	Data []byte
+	// Committed is the current committed WAL length — the offset a fully
+	// caught-up follower would hold.
+	Committed int64
+	// Records counts the mutation records in the committed prefix (the
+	// leading epoch record is excluded), for record-level lag accounting.
+	Records int64
+	// Epoch is the primary's current checkpoint epoch.
+	Epoch uint64
+}
+
+// TailRead returns committed WAL bytes from the given offset, at most max
+// bytes (default 1 MB) but always ending on a frame boundary; a single
+// record larger than max is returned whole, which is safe because commits
+// only ever land complete frames. It returns ErrEpochGone when epoch no
+// longer matches the live log.
+func (m *Manager) TailRead(epoch uint64, offset int64, max int) (Tail, error) {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := Tail{Committed: m.committed, Records: m.records, Epoch: m.epoch}
+	if epoch != m.epoch || offset < 0 || offset > m.committed {
+		return t, ErrEpochGone
+	}
+	avail := m.committed - offset
+	if avail == 0 {
+		return t, nil
+	}
+	n := avail
+	if n > int64(max) {
+		n = int64(max)
+	}
+	buf := make([]byte, n)
+	if _, err := m.reader.ReadAt(buf, offset); err != nil {
+		return t, fmt.Errorf("persist: reading WAL tail at offset %d: %w", offset, err)
+	}
+	end := frameAlign(buf)
+	if end == 0 {
+		// The first frame is longer than max. The committed prefix ends
+		// on a frame boundary, so the whole frame is readable — ship it
+		// as one oversized chunk rather than starving the follower.
+		total := int64(8 + binary.LittleEndian.Uint32(buf[:4]))
+		if total > avail {
+			return t, fmt.Errorf("%w: frame at offset %d overruns committed prefix", ErrWALCorrupt, offset)
+		}
+		buf = make([]byte, total)
+		if _, err := m.reader.ReadAt(buf, offset); err != nil {
+			return t, fmt.Errorf("persist: reading WAL tail at offset %d: %w", offset, err)
+		}
+		end = int(total)
+	}
+	t.Data = buf[:end]
+	return t, nil
+}
+
+// Changed returns a channel that is closed at the next commit or epoch
+// rotation — the long-poll parking primitive for WAL tails. Grab the
+// channel before the TailRead whose emptiness you are waiting out, or a
+// commit between the two is missed.
+func (m *Manager) Changed() <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.notify == nil {
+		m.notify = make(chan struct{})
+	}
+	return m.notify
+}
+
+// frameAlign returns the length of the longest prefix of buf holding only
+// whole frames (length checks only — CRC validation happens at apply
+// time, and the local log was CRC-verified on open).
+func frameAlign(buf []byte) int {
+	end := 0
+	for {
+		if len(buf)-end < 8 {
+			return end
+		}
+		blen := int(binary.LittleEndian.Uint32(buf[end : end+4]))
+		if len(buf)-end-8 < blen {
+			return end
+		}
+		end += 8 + blen
+	}
+}
+
+// ParseFrame splits the first complete CRC-framed record off data,
+// returning its body and the frame's total length. n == 0 with a nil
+// error means data holds no complete frame yet (a torn stream tail —
+// request more bytes); a CRC mismatch returns ErrWALCorrupt.
+func ParseFrame(data []byte) (body []byte, n int, err error) {
+	if len(data) < 8 {
+		return nil, 0, nil
+	}
+	blen := int(binary.LittleEndian.Uint32(data[:4]))
+	if len(data)-8 < blen {
+		return nil, 0, nil
+	}
+	body = data[8 : 8+blen]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, 0, fmt.Errorf("%w: frame CRC mismatch", ErrWALCorrupt)
+	}
+	return body, 8 + blen, nil
+}
+
+// EpochRecord reports whether a record body is a WAL epoch marker, and
+// its epoch. Followers verify the marker against the snapshot they
+// restored instead of applying it.
+func EpochRecord(body []byte) (uint64, bool) {
+	if len(body) == 0 || body[0] != walEpoch {
+		return 0, false
+	}
+	d := &dec{buf: body[1:]}
+	e, err := d.uvarint()
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// Insert-record coalescing. High-frequency small inserts cost one framed
+// record (and one flush) each; coalescing merges consecutive LogInsert
+// calls for the same table into a single record, committed when a
+// different record type or table is logged, maxRows accumulate, the
+// window elapses, or Flush/Close/Checkpoint runs. The durability
+// contract weakens from "durable at return" to "durable within window" —
+// rows pending in the window are lost if the process dies — which is the
+// explicit trade the knob buys: smaller local logs and fewer shipped
+// bytes.
+type coalesce struct {
+	window  time.Duration
+	maxRows int
+
+	table string
+	width int
+	rows  [][]storage.Word
+	timer *time.Timer
+	err   error // sticky failure from a timer-path flush
+}
+
+// SetCoalesce enables (window > 0) or disables (window <= 0) insert
+// coalescing. maxRows bounds a merged record (0 means 4096). Pending rows
+// are flushed before the setting changes.
+func (m *Manager) SetCoalesce(window time.Duration, maxRows int) error {
+	if maxRows <= 0 {
+		maxRows = 4096
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.flushPendingLocked(); err != nil {
+		return err
+	}
+	m.co.window, m.co.maxRows = window, maxRows
+	return nil
+}
+
+// Flush commits any pending coalesced insert batch.
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushPendingLocked()
+}
+
+// flushTimer is the window-expiry path; its failure is reported by the
+// next LogInsert (the rows stay applied in memory either way).
+func (m *Manager) flushTimer() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.flushPendingLocked(); err != nil {
+		m.co.err = err
+	}
+}
+
+func (m *Manager) flushPendingLocked() error {
+	if len(m.co.rows) == 0 {
+		return nil
+	}
+	body := walInsertBody(m.co.table, m.co.width, m.co.rows)
+	m.dropPendingLocked()
+	return m.commitLocked(body)
+}
+
+func (m *Manager) dropPendingLocked() {
+	m.co.rows = nil
+	if m.co.timer != nil {
+		m.co.timer.Stop()
+		m.co.timer = nil
+	}
+}

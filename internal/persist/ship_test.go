@@ -1,0 +1,341 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// shipDB opens a manager over a fresh directory with one empty two-column
+// table, logged so replay (and shipping) recreates it.
+func shipDB(t *testing.T) (*core.DB, *Manager) {
+	t.Helper()
+	db, m, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	rel := storage.NewRelation(storage.NewSchema("t",
+		storage.Attribute{Name: "a", Type: storage.Int64},
+		storage.Attribute{Name: "b", Type: storage.Int64},
+	), storage.NSM(2))
+	db.AddTable(rel)
+	if err := m.LogCreateTable(db.Catalog(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	return db, m
+}
+
+func insertLogged(t *testing.T, db *core.DB, m *Manager, rows ...[]storage.Word) {
+	t.Helper()
+	exec.RunInsert(plan.Insert{Table: "t", Rows: rows}, db.Catalog())
+	if err := m.LogInsert("t", 2, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countFrames walks data and returns total and mutation (non-epoch)
+// frame counts.
+func countFrames(t *testing.T, data []byte) (total, mutations int) {
+	t.Helper()
+	for off := 0; off < len(data); {
+		body, n, err := ParseFrame(data[off:])
+		if err != nil {
+			t.Fatalf("frame at %d: %v", off, err)
+		}
+		if n == 0 {
+			t.Fatalf("partial frame at %d", off)
+		}
+		total++
+		if _, isEpoch := EpochRecord(body); !isEpoch {
+			mutations++
+		}
+		off += n
+	}
+	return total, mutations
+}
+
+func TestTailReadWindowsAndRotation(t *testing.T) {
+	db, m := shipDB(t)
+	insertLogged(t, db, m, row2(1, 10), row2(2, 20))
+	insertLogged(t, db, m, row2(3, 30))
+
+	full, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full.Data)) != full.Committed || full.Committed != m.WALSize() {
+		t.Fatalf("tail covers %d bytes, committed %d, wal %d", len(full.Data), full.Committed, m.WALSize())
+	}
+	if total, muts := countFrames(t, full.Data); total != 4 || muts != 3 {
+		// epoch marker + create-table + 2 inserts
+		t.Fatalf("frames = %d (%d mutations), want 4 (3)", total, muts)
+	}
+	if full.Records != 3 {
+		t.Fatalf("Records = %d, want 3", full.Records)
+	}
+
+	// A tiny max still returns at least one whole frame, never a torn one.
+	var rebuilt []byte
+	for off := int64(0); off < full.Committed; {
+		part, err := m.TailRead(m.Epoch(), off, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Data) == 0 {
+			t.Fatalf("empty chunk at offset %d before committed end %d", off, full.Committed)
+		}
+		countFrames(t, part.Data) // fails on any partial frame
+		rebuilt = append(rebuilt, part.Data...)
+		off += int64(len(part.Data))
+	}
+	if !bytes.Equal(rebuilt, full.Data) {
+		t.Fatal("chunked tail differs from whole tail")
+	}
+
+	// Mid-stream offsets resume exactly.
+	_, n, err := ParseFrame(full.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := m.TailRead(m.Epoch(), int64(n), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest.Data, full.Data[n:]) {
+		t.Fatal("offset tail differs from suffix")
+	}
+
+	// Caught-up tail is empty, not an error.
+	tip, err := m.TailRead(m.Epoch(), full.Committed, 1<<20)
+	if err != nil || len(tip.Data) != 0 {
+		t.Fatalf("tip tail: %d bytes, err %v", len(tip.Data), err)
+	}
+
+	// Rotation: the old epoch (and any offset into it) is gone.
+	oldEpoch := m.Epoch()
+	if _, err := m.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TailRead(oldEpoch, 0, 1<<20); !errors.Is(err, ErrEpochGone) {
+		t.Fatalf("stale epoch tail: err = %v, want ErrEpochGone", err)
+	}
+	// An offset beyond the new (empty) log is gone too — the follower
+	// must resync, not wait.
+	if _, err := m.TailRead(m.Epoch(), full.Committed, 1<<20); !errors.Is(err, ErrEpochGone) {
+		t.Fatalf("overrun offset: err = %v, want ErrEpochGone", err)
+	}
+	fresh, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil || fresh.Committed != 0 || fresh.Records != 0 {
+		t.Fatalf("post-rotation tail: committed %d records %d err %v", fresh.Committed, fresh.Records, err)
+	}
+}
+
+func TestTailReadOversizedFrame(t *testing.T) {
+	db, m := shipDB(t)
+	// One insert record far larger than the max chunk.
+	big := make([][]storage.Word, 3000)
+	for i := range big {
+		big[i] = row2(int64(i), int64(i))
+	}
+	insertLogged(t, db, m, big...)
+	tail, err := m.TailRead(m.Epoch(), 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := countFrames(t, tail.Data); total == 0 {
+		t.Fatal("oversized frame was not shipped whole")
+	}
+}
+
+func TestChangedWakesOnCommitAndRotation(t *testing.T) {
+	db, m := shipDB(t)
+	ch := m.Changed()
+	insertLogged(t, db, m, row2(1, 1))
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("commit did not wake Changed")
+	}
+	ch = m.Changed()
+	if _, err := m.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("rotation did not wake Changed")
+	}
+}
+
+func TestParseFrameTornAndCorrupt(t *testing.T) {
+	db, m := shipDB(t)
+	insertLogged(t, db, m, row2(1, 1))
+	tail, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := tail.Data
+
+	if body, n, err := ParseFrame(data); err != nil || n == 0 || len(body) != n-8 {
+		t.Fatalf("whole frame: body %d, n %d, err %v", len(body), n, err)
+	}
+	for _, cut := range []int{0, 3, 7, 8} {
+		if _, n, err := ParseFrame(data[:cut]); n != 0 || err != nil {
+			t.Fatalf("torn prefix of %d bytes: n %d err %v, want 0/nil", cut, n, err)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[9] ^= 0x01 // flip a body byte of the first frame
+	if _, _, err := ParseFrame(bad); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("corrupt frame: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestCoalesceMergesInserts checks the record-count and ordering
+// contract: consecutive same-table inserts merge into one frame, any
+// other record (or Flush, or the row cap) cuts the batch first, and
+// replay reproduces every row.
+func TestCoalesceMergesInserts(t *testing.T) {
+	dir := t.TempDir()
+	db, m, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := storage.NewRelation(storage.NewSchema("t",
+		storage.Attribute{Name: "a", Type: storage.Int64},
+		storage.Attribute{Name: "b", Type: storage.Int64},
+	), storage.NSM(2))
+	db.AddTable(rel)
+	if err := m.LogCreateTable(db.Catalog(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCoalesce(time.Hour, 100); err != nil { // window never fires in-test
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		insertLogged(t, db, m, row2(int64(i), int64(i*10)))
+	}
+	// Pending rows are not yet committed...
+	before, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mutsBefore := countFrames(t, before.Data)
+	if mutsBefore != 1 { // just the create-table record
+		t.Fatalf("mutation frames before flush = %d, want 1", mutsBefore)
+	}
+	// ...an index creation must cut the batch ahead of itself to keep
+	// record order.
+	db.CreateHashIndex("t", 0)
+	if err := m.LogCreateIndex("t", 0, "hash"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, muts := countFrames(t, after.Data)
+	if muts != 3 { // create-table + ONE coalesced insert + create-index
+		t.Fatalf("mutation frames = %d, want 3 (10 inserts coalesced into 1)", muts)
+	}
+
+	// The row cap flushes automatically.
+	capRows := make([][]storage.Word, 120)
+	for i := range capRows {
+		capRows[i] = row2(int64(1000+i), 0)
+	}
+	exec.RunInsert(plan.Insert{Table: "t", Rows: capRows}, db.Catalog())
+	if err := m.LogInsert("t", 2, capRows); err != nil {
+		t.Fatal(err)
+	}
+	if m.WALSize() == after.Committed {
+		t.Fatal("row cap did not flush the batch")
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, m2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got, want := recovered.Catalog().Table("t").Rows(), db.Catalog().Table("t").Rows(); got != want {
+		t.Fatalf("recovered %d rows, want %d", got, want)
+	}
+	for _, table := range db.Catalog().Names() {
+		assertBitIdentical(t, table, db, recovered)
+	}
+}
+
+// TestCoalesceWindowFlushes relies on the timer path alone.
+func TestCoalesceWindowFlushes(t *testing.T) {
+	db, m := shipDB(t)
+	if err := m.SetCoalesce(10*time.Millisecond, 1000); err != nil {
+		t.Fatal(err)
+	}
+	insertLogged(t, db, m, row2(1, 1))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tail, err := m.TailRead(m.Epoch(), 0, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, muts := countFrames(t, tail.Data)
+		if muts >= 2 { // create-table + the window-flushed insert
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("window flush never committed the pending batch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCoalesceCheckpointDropsPending: rows pending in the window are in
+// the snapshot the checkpoint writes, so the reset must drop them —
+// recovery must see them exactly once.
+func TestCoalesceCheckpointDropsPending(t *testing.T) {
+	dir := t.TempDir()
+	db, m, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := storage.NewRelation(storage.NewSchema("t",
+		storage.Attribute{Name: "a", Type: storage.Int64},
+		storage.Attribute{Name: "b", Type: storage.Int64},
+	), storage.NSM(2))
+	db.AddTable(rel)
+	if err := m.LogCreateTable(db.Catalog(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCoalesce(time.Hour, 1000); err != nil {
+		t.Fatal(err)
+	}
+	insertLogged(t, db, m, row2(1, 1), row2(2, 2))
+	if _, err := m.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, m2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := recovered.Catalog().Table("t").Rows(); got != 2 {
+		t.Fatalf("recovered %d rows, want 2 (pending batch duplicated or lost)", got)
+	}
+}

@@ -262,7 +262,7 @@ func replayWAL(path string, db *core.DB, snapEpoch uint64) (int, error) {
 				return 0, fmt.Errorf("%w: WAL epoch %d newer than snapshot epoch %d",
 					ErrWALCorrupt, epoch, snapEpoch)
 			}
-		} else if err := applyRecord(db, body); err != nil {
+		} else if err := ApplyRecord(db, body); err != nil {
 			return applied, fmt.Errorf("persist: WAL record at offset %d: %w", off, err)
 		} else {
 			applied++
@@ -287,8 +287,11 @@ func decodeEpochRecord(body []byte) (uint64, error) {
 	return d.uvarint()
 }
 
-// applyRecord replays one decoded record body against db.
-func applyRecord(db *core.DB, body []byte) error {
+// ApplyRecord replays one decoded record body against db. Local recovery
+// and replication followers share it: a replica applying shipped records
+// through this path reconstructs the primary's physical design (layouts,
+// dictionary codes, index definitions) bit-identically.
+func ApplyRecord(db *core.DB, body []byte) error {
 	if len(body) == 0 {
 		return fmt.Errorf("%w: empty body", ErrWALCorrupt)
 	}

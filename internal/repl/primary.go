@@ -1,0 +1,148 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/service"
+)
+
+// Primary serves a database's snapshot and WAL tail to followers. It
+// wraps the serving layer (for on-demand checkpoints) and its durability
+// manager (for tail reads); mount it next to the service's own handler.
+type Primary struct {
+	svc *service.DB
+	mgr *persist.Manager
+
+	// PollWait bounds how long an empty WAL tail request parks before
+	// answering 204 (default 25s — under common proxy timeouts).
+	PollWait time.Duration
+	// MaxChunk bounds one tail response (default 1 MB); a single record
+	// larger than this is still shipped whole.
+	MaxChunk int
+}
+
+// NewPrimary builds the replication endpoints for a durable service.
+func NewPrimary(svc *service.DB, mgr *persist.Manager) *Primary {
+	return &Primary{svc: svc, mgr: mgr, PollWait: 25 * time.Second, MaxChunk: 1 << 20}
+}
+
+// Mount registers the replication endpoints on mux.
+func (p *Primary) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(SnapshotPath, p.handleSnapshot)
+	mux.HandleFunc(WALPath, p.handleWAL)
+}
+
+// handleSnapshot streams the checkpoint snapshot file. The first
+// follower of a never-checkpointed primary triggers a checkpoint, so the
+// served snapshot plus the (now fresh) WAL always covers the full state.
+// The epoch lives in the snapshot header; followers decode it from the
+// stream, so a checkpoint racing this handler at worst hands out the
+// previous complete snapshot, whose epoch the WAL endpoint then reports
+// as rotated.
+func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		replError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	path := p.mgr.SnapshotPath()
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		if _, cerr := p.svc.Checkpoint(); cerr != nil {
+			replError(w, http.StatusInternalServerError, fmt.Errorf("creating bootstrap snapshot: %w", cerr))
+			return
+		}
+	} else if err != nil {
+		replError(w, http.StatusInternalServerError, err)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		replError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = io.Copy(w, f)
+}
+
+// handleWAL answers one long-poll tail request: committed frames from
+// the requested offset, 204 when caught up, 410 when the epoch was
+// checkpointed away. Every response carries the primary's position
+// headers. The connected-follower gauge counts requests currently inside
+// this handler — with followers parked in long polls, that is the number
+// of attached replicas.
+func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		replError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	if err != nil {
+		replError(w, http.StatusBadRequest, fmt.Errorf("bad epoch %q", q.Get("epoch")))
+		return
+	}
+	offset, err := strconv.ParseInt(q.Get("offset"), 10, 64)
+	if err != nil {
+		replError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", q.Get("offset")))
+		return
+	}
+	p.svc.FollowerDelta(1)
+	defer p.svc.FollowerDelta(-1)
+
+	deadline := time.Now().Add(p.PollWait)
+	for {
+		// Grab the change channel before reading: a commit landing between
+		// the read and the park then wakes us instead of being missed.
+		changed := p.mgr.Changed()
+		tail, err := p.mgr.TailRead(epoch, offset, p.MaxChunk)
+		switch {
+		case errors.Is(err, persist.ErrEpochGone):
+			setTailHeaders(w, tail)
+			w.WriteHeader(http.StatusGone)
+			return
+		case err != nil:
+			replError(w, http.StatusInternalServerError, err)
+			return
+		case len(tail.Data) > 0:
+			setTailHeaders(w, tail)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(tail.Data)
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			setTailHeaders(w, tail)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		park := time.NewTimer(remain)
+		select {
+		case <-changed:
+			park.Stop()
+		case <-r.Context().Done():
+			park.Stop()
+			return
+		case <-park.C:
+		}
+	}
+}
+
+func setTailHeaders(w http.ResponseWriter, t persist.Tail) {
+	w.Header().Set(hdrEpoch, strconv.FormatUint(t.Epoch, 10))
+	w.Header().Set(hdrCommitted, strconv.FormatInt(t.Committed, 10))
+	w.Header().Set(hdrRecords, strconv.FormatInt(t.Records, 10))
+}
+
+func replError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

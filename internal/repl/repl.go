@@ -1,0 +1,40 @@
+// Package repl is the log-shipping replication subsystem: read-only
+// replicas that bootstrap from the primary's checkpoint snapshot and
+// tail its WAL over HTTP, multiplying read throughput while keeping
+// every replica's physical design — optimizer-chosen layouts,
+// dictionary code assignments, index definitions — byte-identical to
+// the primary's.
+//
+// Topology and protocol:
+//
+//   - GET /repl/snapshot streams the primary's checkpoint snapshot (the
+//     exact on-disk format; the embedded epoch pairs it with the WAL).
+//     A primary that has never checkpointed takes one first, so the
+//     response always exists and always covers the pre-WAL state.
+//   - GET /repl/wal?epoch=E&offset=N long-polls the committed WAL: the
+//     response is raw CRC-framed records starting at N, always ending on
+//     a frame boundary, with X-Repl-Epoch / X-Repl-Committed /
+//     X-Repl-Records describing the primary's current position (so the
+//     follower can account lag). 204 means caught up (poll again), 410
+//     means epoch E was rotated away by a checkpoint — re-fetch the
+//     snapshot.
+//
+// Consistency model: eventual. A replica applies shipped records through
+// the same replay path recovery uses, under the service's catalog write
+// lock, so at equal (epoch, offset) a replica's catalog is bit-identical
+// to what the primary would recover to — queries are row-identical, and
+// reads during catch-up see a consistent prefix of the primary's
+// history. Local writes on a replica are refused with the primary's
+// address.
+package repl
+
+const (
+	// SnapshotPath and WALPath are the replication endpoints a primary
+	// mounts and a replica calls.
+	SnapshotPath = "/repl/snapshot"
+	WALPath      = "/repl/wal"
+
+	hdrEpoch     = "X-Repl-Epoch"
+	hdrCommitted = "X-Repl-Committed"
+	hdrRecords   = "X-Repl-Records"
+)

@@ -1,0 +1,212 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/service"
+)
+
+// errResync signals that the follower's epoch view is stale (the primary
+// rotated it away, or the stream is persistently unusable) and the next
+// step is a fresh snapshot bootstrap.
+var errResync = errors.New("repl: resync from snapshot required")
+
+// maxStall bounds consecutive zero-progress polls (a frame whose CRC
+// keeps failing, or a stream that never completes a frame) before the
+// replica gives up on the tail and re-bootstraps.
+const maxStall = 3
+
+// maxBody caps one tail response read; the primary chunks at MaxChunk
+// but a single oversized record is shipped whole, so leave headroom.
+const maxBody = 256 << 20
+
+// Replica follows one primary: it bootstraps the service's catalog from
+// the primary's snapshot (SwapCore) and then applies the shipped WAL
+// through the service's replicated-apply path, publishing progress and
+// lag to /stats. Run it on its own goroutine; queries hit the service
+// concurrently throughout.
+type Replica struct {
+	svc  *service.DB
+	base string
+	hc   *http.Client
+
+	// Backoff paces retries after transport errors (default 250ms).
+	Backoff time.Duration
+
+	// Tail position: the epoch of the restored snapshot, the applied
+	// byte offset into that epoch's WAL, and applied mutation records.
+	epoch   uint64
+	offset  int64
+	records int64
+	ready   bool
+	stall   int
+}
+
+// NewReplica builds a follower of the primary at base (e.g.
+// "http://10.0.0.1:8080"). The service should already be read-only.
+func NewReplica(svc *service.DB, base string) *Replica {
+	return &Replica{
+		svc:  svc,
+		base: base,
+		// No global timeout: the WAL tail long-polls. Dead primaries are
+		// detected by the dial and response-header timeouts instead.
+		hc: &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 60 * time.Second,
+		}},
+		Backoff: 250 * time.Millisecond,
+	}
+}
+
+// Bootstrap fetches the primary's snapshot, restores it into a fresh
+// core database and swaps it into the service. The tail position resets
+// to the snapshot's epoch at offset 0 — the WAL endpoint replays
+// everything the snapshot does not contain.
+func (r *Replica) Bootstrap() error {
+	resp, err := r.hc.Get(r.base + SnapshotPath)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, readErrBody(resp.Body))
+	}
+	snap, err := persist.DecodeSnapshot(resp.Body)
+	if err != nil {
+		return fmt.Errorf("repl: decoding shipped snapshot: %w", err)
+	}
+	db := core.Open()
+	for _, t := range snap.Tables {
+		if err := t.Restore(db); err != nil {
+			return fmt.Errorf("repl: restoring shipped table: %w", err)
+		}
+	}
+	r.svc.SwapCore(db)
+	r.epoch, r.offset, r.records = snap.Epoch, 0, 0
+	r.ready, r.stall = true, 0
+	r.svc.NoteReplicaSync()
+	r.svc.SetReplicaProgress(r.epoch, 0, 0, 0, 0)
+	return nil
+}
+
+// Run tails the primary until ctx is cancelled, bootstrapping (and
+// re-bootstrapping after epoch rotations) as needed. Transport errors
+// back off and retry; the loop never gives up — a restarted primary is
+// picked up where its log stands.
+func (r *Replica) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		if !r.ready {
+			if err := r.Bootstrap(); err != nil {
+				r.sleep(ctx)
+				continue
+			}
+		}
+		switch err := r.poll(ctx); {
+		case err == nil:
+		case errors.Is(err, errResync):
+			r.ready = false
+		case ctx.Err() != nil:
+			return
+		default:
+			r.sleep(ctx)
+		}
+	}
+}
+
+// poll issues one tail request and applies whatever it returns.
+func (r *Replica) poll(ctx context.Context) error {
+	url := fmt.Sprintf("%s%s?epoch=%d&offset=%d", r.base, WALPath, r.epoch, r.offset)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		chunk, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+		if err != nil {
+			return err
+		}
+		consumed, applied, aerr := r.svc.ApplyReplicated(chunk, r.epoch)
+		r.offset += int64(consumed)
+		r.records += int64(applied)
+		r.publish(resp)
+		if consumed == 0 && len(chunk) > 0 {
+			// A frame that cannot be applied and does not advance: either
+			// corrupt in transit (re-request and hope) or corrupt at the
+			// source (every retry is identical) — after maxStall identical
+			// failures, fall back to a snapshot bootstrap.
+			r.stall++
+			if r.stall >= maxStall {
+				return errResync
+			}
+			return nil
+		}
+		r.stall = 0
+		if aerr != nil {
+			// Partial progress: the bad frame is now first at the new
+			// offset; the next poll retries it and the stall counter above
+			// takes over if it never yields.
+			return nil
+		}
+		return nil
+	case http.StatusNoContent:
+		r.publish(resp)
+		r.stall = 0
+		return nil
+	case http.StatusGone:
+		return errResync
+	default:
+		// A primary that persistently cannot serve this tail (e.g. a local
+		// read error on its log) still has a servable snapshot: after
+		// maxStall failing polls, heal through a bootstrap instead of
+		// retrying the same broken read forever.
+		r.stall++
+		if r.stall >= maxStall {
+			return errResync
+		}
+		return fmt.Errorf("repl: WAL tail: %s: %s", resp.Status, readErrBody(resp.Body))
+	}
+}
+
+// publish refreshes the /stats lag figures from the primary's position
+// headers.
+func (r *Replica) publish(resp *http.Response) {
+	committed, err1 := strconv.ParseInt(resp.Header.Get(hdrCommitted), 10, 64)
+	records, err2 := strconv.ParseInt(resp.Header.Get(hdrRecords), 10, 64)
+	epoch, err3 := strconv.ParseUint(resp.Header.Get(hdrEpoch), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || epoch != r.epoch {
+		// Position of a different epoch (mid-rotation) — lag is about to
+		// be recomputed against a fresh snapshot anyway.
+		r.svc.SetReplicaProgress(r.epoch, r.offset, r.records, 0, 0)
+		return
+	}
+	r.svc.SetReplicaProgress(r.epoch, r.offset, r.records, committed-r.offset, records-r.records)
+}
+
+func (r *Replica) sleep(ctx context.Context) {
+	t := time.NewTimer(r.Backoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func readErrBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	return string(b)
+}

@@ -152,7 +152,11 @@ func (s *DB) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		OldCost float64 `json:"oldCost"`
 		NewCost float64 `json:"newCost"`
 	}
-	changes := s.OptimizeLayouts()
+	changes, err := s.OptimizeLayouts()
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
 	out := make([]changeJSON, len(changes))
 	for i, ch := range changes {
 		out[i] = changeJSON{
@@ -187,8 +191,11 @@ func (s *DB) handleLoad(w http.ResponseWriter, r *http.Request) {
 		// how many rows were already durably applied, so callers can
 		// resume the stream instead of re-sending it.
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrDurability) {
+		switch {
+		case errors.Is(err, ErrDurability):
 			status = http.StatusInternalServerError
+		case errors.Is(err, ErrReadOnly):
+			status = http.StatusConflict
 		}
 		writeJSON(w, status, map[string]any{
 			"error": err.Error(), "table": res.Table, "rowsApplied": res.Rows,
@@ -210,7 +217,7 @@ func (s *DB) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Checkpoint()
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrNoPersistence) {
+		if errors.Is(err, ErrNoPersistence) || errors.Is(err, ErrReadOnly) {
 			status = http.StatusConflict
 		}
 		writeError(w, status, err)
@@ -262,12 +269,15 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // writeQueryError maps service errors onto status codes: overload to
-// 429, durability failures (mutation applied, WAL write failed) to 500,
-// everything else (decode/validation) to 400.
+// 429, writes on a read-only replica to 409 (the error names the
+// primary), durability failures (mutation applied, WAL write failed) to
+// 500, everything else (decode/validation) to 400.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrDurability):
 		writeError(w, http.StatusInternalServerError, err)
 	default:

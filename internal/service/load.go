@@ -50,6 +50,9 @@ type LoadResult struct {
 // batch-wise.
 func (s *DB) Load(spec LoadSpec, r io.Reader) (LoadResult, error) {
 	res := LoadResult{Table: spec.Table}
+	if s.readOnly {
+		return res, s.errReadOnly()
+	}
 	if spec.Table == "" {
 		return res, errors.New("service: load needs a table name")
 	}

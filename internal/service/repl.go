@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// Replication support. The service is role-agnostic: a primary is a
+// normal read/write service whose WAL the repl package ships, a replica
+// is the same service flipped read-only whose catalog is mutated solely
+// through ApplyReplicated — the exact replay path recovery uses, under
+// the same write lock queries contend on, so a replica serves /query,
+// /prepare and /exec exactly like a primary while staying bit-identical
+// to it at equal WAL offsets.
+
+// SetReadOnly flips the service into replica mode before serving starts:
+// local writes (inserts, bulk loads, re-layouts, checkpoints) are
+// rejected with ErrReadOnly naming the primary.
+func (s *DB) SetReadOnly(primaryURL string) {
+	s.readOnly = true
+	s.primaryURL = primaryURL
+}
+
+// ReadOnly reports whether the service is a read-only replica.
+func (s *DB) ReadOnly() bool { return s.readOnly }
+
+// PrimaryURL returns the primary this replica follows ("" on a primary).
+func (s *DB) PrimaryURL() string { return s.primaryURL }
+
+func (s *DB) errReadOnly() error {
+	return fmt.Errorf("%w: writes go to the primary at %s", ErrReadOnly, s.primaryURL)
+}
+
+// SwapCore replaces the wrapped database wholesale — the replica
+// bootstrap path, installing the catalog restored from the primary's
+// snapshot. It takes the write lock, re-installs the shared pool on the
+// new core and drops every cached plan (compiled forms address the old
+// partitions).
+func (s *DB) SwapCore(db *core.DB) {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	db.SetParOptions(s.opt)
+	s.db = db
+	s.invalidate()
+}
+
+// ApplyReplicated applies a chunk of CRC-framed WAL records shipped from
+// the primary, under the catalog write lock (concurrent queries share
+// the read lock exactly as during a local insert). It consumes whole
+// frames only and returns how many bytes and mutation records were
+// applied: a partial trailing frame (a torn stream) is left for the
+// caller to re-request from offset+consumed. A CRC failure or an epoch
+// marker that does not match epoch stops the apply with an error; the
+// already-applied prefix is still reported.
+func (s *DB) ApplyReplicated(chunk []byte, epoch uint64) (consumed, applied int, err error) {
+	s.catalogMu.Lock()
+	defer s.catalogMu.Unlock()
+	for consumed < len(chunk) {
+		body, n, ferr := persist.ParseFrame(chunk[consumed:])
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		if n == 0 {
+			break // torn tail: no complete frame in the remainder
+		}
+		if e, isEpoch := persist.EpochRecord(body); isEpoch {
+			if e != epoch {
+				err = fmt.Errorf("service: shipped WAL carries epoch %d, following %d", e, epoch)
+				break
+			}
+		} else if aerr := persist.ApplyRecord(s.db, body); aerr != nil {
+			err = aerr
+			break
+		} else {
+			applied++
+		}
+		consumed += n
+	}
+	if applied > 0 {
+		s.invalidate()
+	}
+	return consumed, applied, err
+}
+
+// FollowerDelta adjusts the primary's connected-follower gauge (+1 when
+// a WAL tail stream attaches, -1 when it detaches).
+func (s *DB) FollowerDelta(d int64) { s.repl.followers.Add(d) }
+
+// SetReplicaProgress publishes the replica's apply position and lag for
+// /stats.
+func (s *DB) SetReplicaProgress(epoch uint64, offset, records, lagBytes, lagRecords int64) {
+	s.repl.epoch.Store(epoch)
+	s.repl.offset.Store(offset)
+	s.repl.records.Store(records)
+	s.repl.lagBytes.Store(max(lagBytes, 0))
+	s.repl.lagRecords.Store(max(lagRecords, 0))
+}
+
+// NoteReplicaSync counts a snapshot bootstrap (the first sync and every
+// epoch-rotation resync).
+func (s *DB) NoteReplicaSync() { s.repl.syncs.Add(1) }

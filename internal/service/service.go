@@ -55,6 +55,11 @@ var ErrNoPersistence = errors.New("service: no persistence attached (start with 
 // would duplicate the applied mutation.
 var ErrDurability = errors.New("service: durability failure")
 
+// ErrReadOnly reports a local write (insert, bulk load, re-layout,
+// checkpoint) on a read-only replica. The wrapped message names the
+// primary the write belongs on; HTTP maps it to 409.
+var ErrReadOnly = errors.New("service: read-only replica")
+
 // Config sizes the service.
 type Config struct {
 	// Workers is the shared pool's worker count: 0 means GOMAXPROCS,
@@ -106,7 +111,25 @@ type DB struct {
 	ckptMu        sync.Mutex  // serializes checkpoints
 	ckptPending   atomic.Bool // one background checkpoint goroutine at a time
 
+	// Replication role. readOnly/primaryURL are set once before serving
+	// (SetReadOnly); the counters are written by the repl package.
+	readOnly   bool
+	primaryURL string
+	repl       replCounters
+
 	stats statsCounters
+}
+
+// replCounters tracks replication state for /stats: the follower gauge
+// on a primary, apply progress and lag on a replica.
+type replCounters struct {
+	followers  atomic.Int64 // primary: WAL tail streams currently connected
+	epoch      atomic.Uint64
+	offset     atomic.Int64
+	records    atomic.Int64
+	lagBytes   atomic.Int64
+	lagRecords atomic.Int64
+	syncs      atomic.Int64 // snapshot bootstraps (1 = initial, more = resyncs)
 }
 
 // planLRU is the compiled-plan cache: most recent at the list front,
@@ -430,6 +453,9 @@ func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
 // slice accessors may reference the grown table) and is WAL-logged when
 // persistence is attached.
 func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
+	if s.readOnly {
+		return nil, s.errReadOnly()
+	}
 	s.catalogMu.Lock()
 	res, err := func() (*result.Set, error) {
 		defer s.catalogMu.Unlock()
@@ -521,8 +547,12 @@ func (s *DB) invalidate() {
 // the serving analogue of core.DB.OptimizeLayouts — and invalidates the
 // plan cache, since compiled plans address the old partitions directly.
 // With persistence attached, each decision is WAL-logged so recovery
-// re-applies the exact chosen layouts.
-func (s *DB) OptimizeLayouts() []core.LayoutChange {
+// re-applies the exact chosen layouts. A replica refuses: its layouts
+// are the primary's, shipped through the WAL.
+func (s *DB) OptimizeLayouts() ([]core.LayoutChange, error) {
+	if s.readOnly {
+		return nil, s.errReadOnly()
+	}
 	s.catalogMu.Lock()
 	defer s.catalogMu.Unlock()
 	changes := s.db.OptimizeLayouts()
@@ -535,13 +565,16 @@ func (s *DB) OptimizeLayouts() []core.LayoutChange {
 			}
 		}
 	}
-	return changes
+	return changes, nil
 }
 
 // Checkpoint snapshots the full catalog to the data directory and resets
 // the WAL. It runs under the catalog read lock: concurrent queries keep
 // executing, mutations wait. Concurrent checkpoints serialize.
 func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
+	if s.readOnly {
+		return persist.CheckpointInfo{}, s.errReadOnly()
+	}
 	if s.persist == nil {
 		return persist.CheckpointInfo{}, ErrNoPersistence
 	}
@@ -670,6 +703,19 @@ type Stats struct {
 	// churning the LRU with variants of few queries — the case parameter
 	// binding would collapse.
 	PlanCacheShapes int `json:"planCacheShapes"`
+
+	// Replication. Role is "primary" or "replica"; a primary reports the
+	// follower gauge, a replica its apply position and lag behind the
+	// primary's committed WAL.
+	Role                  string `json:"role"`
+	Followers             int64  `json:"followers"`             // primary: connected WAL tail streams
+	ReplPrimary           string `json:"replPrimary,omitempty"` // replica: the primary's URL
+	ReplEpoch             uint64 `json:"replEpoch"`             // replica: epoch being applied
+	ReplOffset            int64  `json:"replOffset"`            // replica: applied WAL offset (bytes)
+	ReplRecords           int64  `json:"replRecords"`           // replica: applied mutation records
+	ReplicationLagBytes   int64  `json:"replicationLagBytes"`   // replica: committed bytes not yet applied
+	ReplicationLagRecords int64  `json:"replicationLagRecords"` // replica: records not yet applied
+	ReplSyncs             int64  `json:"replSyncs"`             // replica: snapshot bootstraps (>1 = resyncs)
 }
 
 // Stats snapshots the counters.
@@ -704,6 +750,18 @@ func (s *DB) Stats() Stats {
 		st.Persistent = true
 		st.WALBytes = s.persist.WALSize()
 	}
+	st.Role = "primary"
+	st.Followers = s.repl.followers.Load()
+	if s.readOnly {
+		st.Role = "replica"
+		st.ReplPrimary = s.primaryURL
+		st.ReplEpoch = s.repl.epoch.Load()
+		st.ReplOffset = s.repl.offset.Load()
+		st.ReplRecords = s.repl.records.Load()
+		st.ReplicationLagBytes = s.repl.lagBytes.Load()
+		st.ReplicationLagRecords = s.repl.lagRecords.Load()
+	}
+	st.ReplSyncs = s.repl.syncs.Load()
 	return st
 }
 
