@@ -5,6 +5,8 @@
 //	served -addr :8080 -rows 1000000 -workers 0
 //	served -addr :8080 -data-dir ./data          # durable: snapshot + WAL
 //	served -addr :8081 -replica-of http://primary:8080
+//	served -addr :8081 -replica-of http://primary:8080 -data-dir ./data2
+//	                                             # replica that can be promoted
 //
 // Endpoints:
 //
@@ -16,8 +18,11 @@
 //	POST /checkpoint {}                      snapshot the catalog, reset the WAL
 //	GET  /tables                             list served tables
 //	GET  /stats                              service counters
-//	GET  /repl/snapshot                      (with -data-dir) replication bootstrap
-//	GET  /repl/wal?epoch=E&offset=N          (with -data-dir) WAL tail long-poll
+//	GET  /healthz                            liveness + role health (ok/degraded/fenced)
+//	GET  /repl/snapshot                      (primary) replication bootstrap
+//	GET  /repl/wal?epoch=E&offset=N          (primary) WAL tail long-poll
+//	POST /promote    {}                      flip a replica into a primary (term+1)
+//	POST /demote     {"primary": U, "term": N}  fence + follow the new primary
 //
 // With -data-dir, the catalog (schemas, optimizer-chosen layouts,
 // partition data, dictionaries, index definitions) is recovered from the
@@ -29,11 +34,19 @@
 // shipped streams, durability weakens to "within the window").
 //
 // With -replica-of, the process is a read-only replica: it bootstraps its
-// catalog from the primary's snapshot, tails the primary's WAL (applying
-// records through the recovery replay path, so its physical design stays
-// bit-identical), serves /query, /prepare and /exec like a primary, and
-// answers local writes with 409 naming the primary. Replicas keep no data
-// directory — a restarted replica re-bootstraps from the primary.
+// catalog from the primary's snapshot (serving empty reads immediately and
+// retrying with capped jittered backoff while the primary comes up), tails
+// the primary's WAL (applying records through the recovery replay path, so
+// its physical design stays bit-identical), serves /query, /prepare and
+// /exec like a primary, and answers local writes with 409 naming the
+// primary. A replica started without -data-dir keeps no local state — a
+// restart re-bootstraps from the primary — and cannot be promoted; adding
+// -data-dir gives it promotion storage: POST /promote opens the directory
+// fresh, checkpoints the replicated catalog into it and starts serving
+// /repl/* as the new primary at the next fencing term. Losing the primary
+// never kills a replica: it keeps serving reads, reports "degraded" in
+// /healthz and /stats after a few failed polls, and "promote-eligible"
+// once the outage outlasts the promotion threshold.
 //
 // The demo dataset is the paper's example relation R(A..P) with A uniform
 // over [0, 1e6), so the Figure 2 query
@@ -70,12 +83,12 @@ func main() {
 		workers     = flag.Int("workers", 0, "shared worker pool size (0 = all cores, 1 = serial execution)")
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2x workers)")
 		queueWait   = flag.Duration("queue-timeout", time.Second, "max wait for an execution slot before 429")
-		dataDir     = flag.String("data-dir", "", "data directory for snapshot + WAL durability (empty = in-memory only)")
+		dataDir     = flag.String("data-dir", "", "data directory for snapshot + WAL durability (for a replica: promotion storage)")
 		restore     = flag.Bool("restore", true, "with -data-dir: recover existing snapshot + WAL (false wipes them)")
 		fsync       = flag.Bool("fsync", false, "with -data-dir: fsync WAL commits and snapshots")
 		ckptWALMB   = flag.Int("checkpoint-wal-mb", 64, "with -data-dir: WAL size triggering a background checkpoint (<= 0 disables)")
 		coalesceMS  = flag.Int("wal-coalesce-ms", 0, "with -data-dir: coalesce consecutive insert WAL records within this window (0 = off)")
-		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this URL (in-memory)")
+		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this URL")
 	)
 	flag.Parse()
 
@@ -85,11 +98,13 @@ func main() {
 		QueueTimeout: *queueWait,
 	}
 
+	threshold := int64(*ckptWALMB) << 20
+	if *ckptWALMB <= 0 {
+		threshold = -1
+	}
+
 	if *replicaOf != "" {
-		if *dataDir != "" {
-			log.Fatal("-replica-of replicas are in-memory (they bootstrap from the primary); drop -data-dir")
-		}
-		runReplica(*addr, *replicaOf, cfg)
+		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg)
 		return
 	}
 
@@ -130,52 +145,77 @@ func main() {
 	defer s.Close()
 	handler := s.Handler()
 	if mgr != nil {
-		threshold := int64(*ckptWALMB) << 20
-		if *ckptWALMB <= 0 {
-			threshold = -1
-		}
 		s.AttachPersist(mgr, threshold)
 		if freshDemo {
 			if _, err := s.Checkpoint(); err != nil {
 				log.Fatalf("initial checkpoint: %v", err)
 			}
 		}
-		// A durable primary can feed replicas: mount the shipping endpoints.
+		// A durable primary can feed replicas and be demoted after a
+		// failover: run it as a Node.
+		node := repl.NewNode(s, repl.NodeConfig{Mgr: mgr, CheckpointWAL: threshold})
+		if err := node.Start(context.Background()); err != nil {
+			log.Fatalf("starting replication node: %v", err)
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		repl.NewPrimary(s, mgr).Mount(mux)
+		node.Mount(mux)
 		handler = mux
 	}
 
 	st := s.Stats()
 	fmt.Printf("served: listening on %s (workers=%d, max in-flight=%d, durable=%v)\n",
 		*addr, st.Workers, st.MaxInFlight, st.Persistent)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	log.Fatal(serve(*addr, handler))
 }
 
-// runReplica bootstraps from the primary (retrying while it comes up),
-// then serves reads while a background goroutine tails the WAL.
-func runReplica(addr, primary string, cfg service.Config) {
+// runReplica starts a read-only replica node: it serves immediately
+// (reads return empty results until the first bootstrap lands) while the
+// node's tail loop bootstraps and follows the primary with backoff, and
+// it mounts /promote and /demote so an operator can fail it over.
+func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config) {
 	s := service.New(core.Open(), cfg)
 	defer s.Close()
-	s.SetReadOnly(primary)
 
-	rep := repl.NewReplica(s, primary)
-	var err error
-	for attempt := 0; attempt < 60; attempt++ {
-		if err = rep.Bootstrap(); err == nil {
-			break
+	nodeCfg := repl.NodeConfig{PrimaryURL: primary, CheckpointWAL: threshold}
+	if dataDir != "" {
+		// Promotion storage: opened fresh at promote time (the replica's
+		// authoritative state is the replicated catalog in memory, not
+		// whatever the directory held).
+		nodeCfg.OpenStorage = func() (*persist.Manager, error) {
+			db, mgr, err := persist.Open(persist.Options{Dir: dataDir, Fsync: fsync, Fresh: true})
+			if err != nil {
+				return nil, err
+			}
+			_ = db // empty: Fresh wipes the directory
+			return mgr, nil
 		}
-		log.Printf("replica bootstrap from %s: %v (retrying)", primary, err)
-		time.Sleep(500 * time.Millisecond)
 	}
-	if err != nil {
-		log.Fatalf("replica bootstrap from %s: %v", primary, err)
+	node := repl.NewNode(s, nodeCfg)
+	if err := node.Start(context.Background()); err != nil {
+		log.Fatalf("starting replica node: %v", err)
 	}
-	go rep.Run(context.Background())
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	node.Mount(mux)
 
 	st := s.Stats()
-	fmt.Printf("served: replica of %s listening on %s (workers=%d, %d table(s) restored)\n",
-		primary, addr, st.Workers, len(s.Tables()))
-	log.Fatal(http.ListenAndServe(addr, s.Handler()))
+	fmt.Printf("served: replica of %s listening on %s (workers=%d, promotable=%v)\n",
+		primary, addr, st.Workers, dataDir != "")
+	log.Fatal(serve(addr, mux))
+}
+
+// serve runs the HTTP server with sane timeouts: slowloris protection on
+// headers, a generous body window (bulk loads stream for a while), and
+// idle-connection reaping. No WriteTimeout — /repl/wal long-polls and
+// large query results must not be cut off mid-response.
+func serve(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
 }

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects faults into matching
+// requests: drop them on the floor, delay them, replace the response
+// status, or rewrite the response body (truncate it mid-frame, flip a
+// byte). Install it as a replica's transport to exercise torn streams,
+// unreachable primaries and epoch races deterministically instead of
+// hoping a proxy or the scheduler tears the right byte.
+type Transport struct {
+	// Base performs the real round trips (http.DefaultTransport when nil).
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*Rule
+}
+
+// Rule is one fault: the first rule whose Path matches a request (and
+// whose Count is not exhausted) fires. Zero-value fields do not apply.
+type Rule struct {
+	// Path is a substring match on the request URL path ("" matches all).
+	Path string
+	// Count bounds how many requests the rule fires on (0 = unlimited).
+	Count int
+	// Drop fails the round trip with an error before it reaches the wire
+	// — an unreachable or crashed peer.
+	Drop bool
+	// Delay sleeps before the request proceeds.
+	Delay time.Duration
+	// Status, when non-zero, skips the real request and answers with this
+	// status and an empty body.
+	Status int
+	// Mutate rewrites the response body (truncation, bit flips). It runs
+	// on the fully read body; Content-Length is fixed up.
+	Mutate func([]byte) []byte
+
+	hits atomic.Int32
+}
+
+// Hits reports how many requests the rule fired on — assert it is
+// non-zero so a test cannot silently exercise nothing.
+func (r *Rule) Hits() int { return int(r.hits.Load()) }
+
+// Add appends a rule and returns it (for Hits assertions).
+func (t *Transport) Add(r *Rule) *Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, r)
+	return r
+}
+
+// RoundTrip applies the first matching live rule, then (unless the rule
+// short-circuits) forwards to the base transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rule := t.match(req)
+	if rule == nil {
+		return t.base().RoundTrip(req)
+	}
+	if rule.Delay > 0 {
+		time.Sleep(rule.Delay)
+	}
+	if rule.Drop {
+		return nil, fmt.Errorf("faultinject: dropped %s %s", req.Method, req.URL.Path)
+	}
+	if rule.Status != 0 {
+		return &http.Response{
+			StatusCode: rule.Status,
+			Status:     http.StatusText(rule.Status),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{},
+			Body:    io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}, nil
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil || rule.Mutate == nil {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	body = rule.Mutate(body)
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Set("Content-Length", fmt.Sprint(len(body)))
+	return resp, nil
+}
+
+// match finds the first rule applying to req and consumes one firing.
+func (t *Transport) match(req *http.Request) *Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.rules {
+		if r.Path != "" && !strings.Contains(req.URL.Path, r.Path) {
+			continue
+		}
+		if r.Count > 0 && int(r.hits.Load()) >= r.Count {
+			continue
+		}
+		r.hits.Add(1)
+		return r
+	}
+	return nil
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}

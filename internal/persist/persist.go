@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -240,6 +241,9 @@ func (m *Manager) commit(body []byte) error {
 // the same commit — lazily, so an earlier failed stamp attempt can
 // never leave mutation records in a headerless log.
 func (m *Manager) commitLocked(body []byte) error {
+	if err := faultinject.Hit("persist/wal-commit"); err != nil {
+		return err
+	}
 	if !m.w.stamped {
 		if err := m.w.append(walEpochBody(m.epoch)); err != nil {
 			return err
@@ -283,6 +287,9 @@ type CheckpointInfo struct {
 // reset, recovery sees a lower-epoch WAL and discards it instead of
 // replaying records the snapshot already contains.
 func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
+	if err := faultinject.Hit("persist/checkpoint"); err != nil {
+		return CheckpointInfo{}, err
+	}
 	next := m.Epoch() + 1
 	tmp, err := os.CreateTemp(m.dir, snapshotFile+".tmp-*")
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -108,6 +109,9 @@ func (w *wal) commit() error {
 		return err
 	}
 	if w.fsync {
+		if err := faultinject.Hit("persist/wal-fsync"); err != nil {
+			return err
+		}
 		return w.f.Sync()
 	}
 	return nil

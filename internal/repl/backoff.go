@@ -1,0 +1,45 @@
+package repl
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff paces retries against an unhealthy peer: capped exponential
+// growth with jitter, so a fleet of replicas that lost their primary at
+// the same instant does not hammer its replacement in lockstep. The
+// jitter draws uniformly from [d/2, d] — enough spread to de-correlate
+// retries while keeping the floor high enough that tests (and operators)
+// can still reason about minimum delays.
+type backoff struct {
+	base    time.Duration // first delay (doubles each attempt)
+	cap     time.Duration // growth ceiling
+	attempt int
+}
+
+// next returns the delay to sleep before the upcoming retry and advances
+// the schedule.
+func (b *backoff) next() time.Duration {
+	base, ceil := b.base, b.cap
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if ceil < base {
+		ceil = base
+	}
+	d := base
+	for i := 0; i < b.attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	if d < ceil {
+		b.attempt++
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// reset restarts the schedule after a success.
+func (b *backoff) reset() { b.attempt = 0 }

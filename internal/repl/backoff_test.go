@@ -1,0 +1,50 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := &backoff{base: 100 * time.Millisecond, cap: 800 * time.Millisecond}
+	// Attempt k draws from [d/2, d] where d = min(base<<k, cap).
+	wants := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // pinned at the cap
+		800 * time.Millisecond,
+	}
+	for i, want := range wants {
+		got := b.next()
+		if got < want/2 || got > want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, got, want/2, want)
+		}
+	}
+	b.reset()
+	if got := b.next(); got < 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("after reset: delay %v outside [50ms, 100ms]", got)
+	}
+}
+
+func TestBackoffJitterSpreads(t *testing.T) {
+	b := &backoff{base: 64 * time.Millisecond, cap: 64 * time.Millisecond}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[b.next()] = true
+	}
+	// 64 draws from a 32ms-wide uniform window collide into one value only
+	// if there is no jitter at all.
+	if len(seen) < 2 {
+		t.Fatalf("no jitter: %d distinct delays in 64 draws", len(seen))
+	}
+}
+
+func TestBackoffZeroValues(t *testing.T) {
+	b := &backoff{} // defaults: base 250ms, cap = base
+	got := b.next()
+	if got < 125*time.Millisecond || got > 250*time.Millisecond {
+		t.Fatalf("zero-value backoff delay %v outside [125ms, 250ms]", got)
+	}
+}

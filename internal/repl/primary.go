@@ -52,6 +52,9 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		replError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
+	if !p.observeTerm(w, r) {
+		return
+	}
 	path := p.mgr.SnapshotPath()
 	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
 		if _, cerr := p.svc.Checkpoint(); cerr != nil {
@@ -94,6 +97,9 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 		replError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", q.Get("offset")))
 		return
 	}
+	if !p.observeTerm(w, r) {
+		return
+	}
 	p.svc.FollowerDelta(1)
 	defer p.svc.FollowerDelta(-1)
 
@@ -133,6 +139,32 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 		case <-park.C:
 		}
 	}
+}
+
+// observeTerm reconciles the caller's fencing term with this primary's
+// own. A request carrying a higher term is proof a newer primary exists:
+// this one fences itself (local writes start failing with ErrFenced)
+// and — reporting false — refuses to serve the stream, so nobody
+// bootstraps from superseded history. Every response carries the
+// primary's (possibly just-raised) term for the follower to adopt.
+func (p *Primary) observeTerm(w http.ResponseWriter, r *http.Request) bool {
+	if v := r.Header.Get(hdrTerm); v != "" {
+		if t, err := strconv.ParseUint(v, 10, 64); err == nil && t > p.svc.Term() {
+			p.svc.Fence(t, "")
+		}
+	}
+	w.Header().Set(hdrTerm, strconv.FormatUint(p.svc.Term(), 10))
+	if fenced, by := p.svc.Fenced(); fenced {
+		if by != "" {
+			replError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("fenced: superseded by primary %s at term %d", by, p.svc.Term()))
+		} else {
+			replError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("fenced: superseded at term %d", p.svc.Term()))
+		}
+		return false
+	}
+	return true
 }
 
 func setTailHeaders(w http.ResponseWriter, t persist.Tail) {

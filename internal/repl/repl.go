@@ -26,6 +26,19 @@
 // reads during catch-up see a consistent prefix of the primary's
 // history. Local writes on a replica are refused with the primary's
 // address.
+//
+// Failover: a Node wraps a service in a runtime-switchable role. POST
+// /promote flips a replica into a primary — the tail loop stops, drains
+// what the old primary can still serve, and the node starts answering
+// /repl/* at fencing term N+1. Terms ride every /repl/* exchange as
+// X-Repl-Term: a primary that observes a higher term than its own has
+// been superseded and fences itself (writes fail with a clear error
+// instead of forking history), and a replica refuses streams from a
+// peer reporting a lower term than its own view. POST /demote converts
+// a fenced old primary into a replica of the new one; its first
+// successful bootstrap clears the fence. Terms are in-memory: ordering
+// across full-cluster restarts (and leader election itself) belongs to
+// an external coordinator.
 package repl
 
 const (
@@ -34,7 +47,20 @@ const (
 	SnapshotPath = "/repl/snapshot"
 	WALPath      = "/repl/wal"
 
+	// PromotePath and DemotePath are the failover admin endpoints a Node
+	// mounts: POST /promote flips a replica into a primary at term+1,
+	// POST /demote fences a superseded primary and re-points it at the
+	// new one.
+	PromotePath = "/promote"
+	DemotePath  = "/demote"
+
 	hdrEpoch     = "X-Repl-Epoch"
 	hdrCommitted = "X-Repl-Committed"
 	hdrRecords   = "X-Repl-Records"
+
+	// hdrTerm is the fencing token: requests carry the caller's term,
+	// responses the serving node's. Observing a higher term than your own
+	// fences you (primary) or is adopted (replica); observing a lower one
+	// marks the peer stale.
+	hdrTerm = "X-Repl-Term"
 )

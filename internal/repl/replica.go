@@ -20,6 +20,12 @@ import (
 // step is a fresh snapshot bootstrap.
 var errResync = errors.New("repl: resync from snapshot required")
 
+// errStalePrimary reports a peer whose fencing term is lower than the
+// replica's own view — a revived pre-failover primary. Its stream must
+// not be applied: it forked from the authoritative history at the
+// promotion point.
+var errStalePrimary = errors.New("repl: primary reports a stale term")
+
 // maxStall bounds consecutive zero-progress polls (a frame whose CRC
 // keeps failing, or a stream that never completes a frame) before the
 // replica gives up on the tail and re-bootstraps.
@@ -31,16 +37,38 @@ const maxBody = 256 << 20
 
 // Replica follows one primary: it bootstraps the service's catalog from
 // the primary's snapshot (SwapCore) and then applies the shipped WAL
-// through the service's replicated-apply path, publishing progress and
-// lag to /stats. Run it on its own goroutine; queries hit the service
-// concurrently throughout.
+// through the service's replicated-apply path, publishing progress, lag
+// and its health state machine to /stats. Run it on its own goroutine;
+// queries hit the service concurrently throughout.
+//
+// Failure handling is a small circuit breaker. Transport errors retry
+// on capped jittered exponential backoff; after DegradedAfter
+// consecutive failures the replica reports itself degraded (reads keep
+// serving), and after PromoteAfter it reports promote-eligible — the
+// primary has been gone long enough that an operator may POST /promote.
+// Zero-progress tails (maxStall polls that consume nothing) and epoch
+// rotations (410) heal through a snapshot resync.
 type Replica struct {
 	svc  *service.DB
 	base string
 	hc   *http.Client
 
-	// Backoff paces retries after transport errors (default 250ms).
-	Backoff time.Duration
+	// Backoff is the first retry delay after a failure; subsequent
+	// failures double it (with jitter) up to BackoffCap.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+
+	// DegradedAfter and PromoteAfter are the circuit-breaker thresholds:
+	// consecutive failed bootstrap/tail attempts before the replica
+	// reports "degraded" and "promote-eligible" respectively.
+	DegradedAfter int
+	PromoteAfter  int
+
+	// SnapshotTimeout bounds one snapshot fetch end-to-end;
+	// PollTimeout bounds one WAL tail request (it must exceed the
+	// primary's long-poll window or every idle poll times out).
+	SnapshotTimeout time.Duration
+	PollTimeout     time.Duration
 
 	// Tail position: the epoch of the restored snapshot, the applied
 	// byte offset into that epoch's WAL, and applied mutation records.
@@ -49,34 +77,65 @@ type Replica struct {
 	records int64
 	ready   bool
 	stall   int
+
+	// Circuit-breaker state (tail-loop goroutine only).
+	bo        backoff
+	fails     int
+	everReady bool
 }
 
 // NewReplica builds a follower of the primary at base (e.g.
 // "http://10.0.0.1:8080"). The service should already be read-only.
 func NewReplica(svc *service.DB, base string) *Replica {
-	return &Replica{
+	r := &Replica{
 		svc:  svc,
 		base: base,
-		// No global timeout: the WAL tail long-polls. Dead primaries are
-		// detected by the dial and response-header timeouts instead.
+		// No global client timeout: the WAL tail long-polls, and per-
+		// request timeouts (PollTimeout, SnapshotTimeout) bound each call
+		// instead. Dead primaries are also caught by the dial and
+		// response-header timeouts.
 		hc: &http.Client{Transport: &http.Transport{
 			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
 			ResponseHeaderTimeout: 60 * time.Second,
 		}},
-		Backoff: 250 * time.Millisecond,
+		Backoff:         250 * time.Millisecond,
+		BackoffCap:      5 * time.Second,
+		DegradedAfter:   3,
+		PromoteAfter:    8,
+		SnapshotTimeout: 5 * time.Minute,
+		PollTimeout:     90 * time.Second,
 	}
+	r.setState(service.ReplStateBootstrapping)
+	return r
 }
+
+// SetTransport replaces the HTTP transport — the fault-injection seam
+// (wrap with faultinject.Transport to drop, delay or tear the stream).
+// Call before the tail loop starts.
+func (r *Replica) SetTransport(rt http.RoundTripper) { r.hc.Transport = rt }
 
 // Bootstrap fetches the primary's snapshot, restores it into a fresh
 // core database and swaps it into the service. The tail position resets
 // to the snapshot's epoch at offset 0 — the WAL endpoint replays
 // everything the snapshot does not contain.
-func (r *Replica) Bootstrap() error {
-	resp, err := r.hc.Get(r.base + SnapshotPath)
+func (r *Replica) Bootstrap() error { return r.bootstrap(context.Background()) }
+
+func (r *Replica) bootstrap(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout(r.SnapshotTimeout, 5*time.Minute))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+SnapshotPath, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(hdrTerm, strconv.FormatUint(r.svc.Term(), 10))
+	resp, err := r.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if err := r.checkTerm(resp); err != nil {
+		return err
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, readErrBody(resp.Body))
 	}
@@ -95,45 +154,91 @@ func (r *Replica) Bootstrap() error {
 	r.ready, r.stall = true, 0
 	r.svc.NoteReplicaSync()
 	r.svc.SetReplicaProgress(r.epoch, 0, 0, 0, 0)
+	// A demoted (fenced) primary that has re-based onto the new
+	// primary's snapshot is a consistent replica again.
+	r.svc.ClearFence()
 	return nil
 }
 
 // Run tails the primary until ctx is cancelled, bootstrapping (and
-// re-bootstrapping after epoch rotations) as needed. Transport errors
-// back off and retry; the loop never gives up — a restarted primary is
-// picked up where its log stands.
+// re-bootstrapping after epoch rotations) as needed. Failures back off
+// exponentially and never give up — a restarted primary is picked up
+// where its log stands — while the state machine keeps /stats honest
+// about how healthy the stream is.
 func (r *Replica) Run(ctx context.Context) {
 	for ctx.Err() == nil {
 		if !r.ready {
-			if err := r.Bootstrap(); err != nil {
-				r.sleep(ctx)
+			if r.everReady {
+				r.setState(service.ReplStateResyncing)
+			} else {
+				r.setState(service.ReplStateBootstrapping)
+			}
+			if err := r.bootstrap(ctx); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				r.noteFailure(ctx)
 				continue
 			}
+			r.everReady = true
+			r.noteProgress()
 		}
 		switch err := r.poll(ctx); {
 		case err == nil:
+			r.noteProgress()
 		case errors.Is(err, errResync):
 			r.ready = false
 		case ctx.Err() != nil:
 			return
 		default:
-			r.sleep(ctx)
+			r.noteFailure(ctx)
 		}
 	}
 }
 
+// Drain applies whatever committed WAL the primary can still serve, for
+// up to wait — the promotion path's final catch-up attempt against a
+// possibly-dead primary. It returns the number of polls that made
+// progress; errors are expected (the primary usually just died) and end
+// the drain. Only call it after the Run loop has stopped.
+func (r *Replica) Drain(wait time.Duration) int {
+	if !r.ready {
+		return 0
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	progressed := 0
+	for ctx.Err() == nil {
+		before := r.offset
+		if err := r.poll(ctx); err != nil {
+			break
+		}
+		if r.offset == before {
+			break // 204 or zero progress: caught up with what is servable
+		}
+		progressed++
+	}
+	return progressed
+}
+
 // poll issues one tail request and applies whatever it returns.
 func (r *Replica) poll(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout(r.PollTimeout, 90*time.Second))
+	defer cancel()
 	url := fmt.Sprintf("%s%s?epoch=%d&offset=%d", r.base, WALPath, r.epoch, r.offset)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
+	req.Header.Set(hdrTerm, strconv.FormatUint(r.svc.Term(), 10))
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if err := r.checkTerm(resp); err != nil {
+		return err
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		chunk, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
@@ -182,6 +287,25 @@ func (r *Replica) poll(ctx context.Context) error {
 	}
 }
 
+// checkTerm reconciles the peer's fencing term with ours: adopt a higher
+// one (the normal propagation path), refuse a lower one (a revived
+// pre-failover primary whose history forked at the promotion).
+func (r *Replica) checkTerm(resp *http.Response) error {
+	v := resp.Header.Get(hdrTerm)
+	if v == "" {
+		return nil
+	}
+	term, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return nil
+	}
+	if own := r.svc.Term(); term < own {
+		return fmt.Errorf("%w: peer at term %d, local view is %d", errStalePrimary, term, own)
+	}
+	r.svc.AdoptTerm(term)
+	return nil
+}
+
 // publish refreshes the /stats lag figures from the primary's position
 // headers.
 func (r *Replica) publish(resp *http.Response) {
@@ -197,13 +321,48 @@ func (r *Replica) publish(resp *http.Response) {
 	r.svc.SetReplicaProgress(r.epoch, r.offset, r.records, committed-r.offset, records-r.records)
 }
 
-func (r *Replica) sleep(ctx context.Context) {
-	t := time.NewTimer(r.Backoff)
+// noteProgress resets the circuit breaker after a successful poll or
+// bootstrap.
+func (r *Replica) noteProgress() {
+	r.fails = 0
+	r.bo.reset()
+	r.setState(service.ReplStateStreaming)
+}
+
+// noteFailure advances the circuit breaker — counting the retry,
+// publishing the state transition, and sleeping the backoff.
+func (r *Replica) noteFailure(ctx context.Context) {
+	r.fails++
+	r.svc.NoteReplicaRetry()
+	switch {
+	case r.fails >= r.threshold(r.PromoteAfter, 8):
+		r.setState(service.ReplStatePromoteEligible)
+	case r.fails >= r.threshold(r.DegradedAfter, 3):
+		r.setState(service.ReplStateDegraded)
+	}
+	r.bo.base, r.bo.cap = r.Backoff, r.BackoffCap
+	t := time.NewTimer(r.bo.next())
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
 	case <-t.C:
 	}
+}
+
+func (r *Replica) setState(s string) { r.svc.SetReplicaState(s) }
+
+func (r *Replica) timeout(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+func (r *Replica) threshold(n, def int) int {
+	if n > 0 {
+		return n
+	}
+	return def
 }
 
 func readErrBody(r io.Reader) string {

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestWALCommitFailpoint fails the WAL commit under a load: the service
+// must surface ErrDurability (the batch is applied in memory but not
+// logged — the operator's signal to fail the node over rather than trust
+// it), count the persist error, and recover once the fault clears.
+func TestWALCommitFailpoint(t *testing.T) {
+	s, mgr := openPersistent(t, t.TempDir(), Config{Workers: 1})
+	t.Cleanup(func() {
+		s.Close()
+		mgr.Close()
+		faultinject.Reset()
+	})
+	if _, err := s.Load(LoadSpec{Table: "ev", Format: "csv", CreateSpec: "id:int64,name:string"},
+		strings.NewReader("1,a\n2,b\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected: disk is gone")
+	faultinject.EnableError("persist/wal-commit", boom)
+	_, err := s.Load(LoadSpec{Table: "ev", Format: "csv"}, strings.NewReader("3,c\n"))
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("load with failing WAL commit: %v, want ErrDurability", err)
+	}
+	if !strings.Contains(err.Error(), boom.Error()) {
+		t.Fatalf("injected cause lost from the message: %v", err)
+	}
+	if got := s.Stats().PersistErrors; got == 0 {
+		t.Fatal("persist error not counted")
+	}
+
+	faultinject.Disable("persist/wal-commit")
+	if _, err := s.Load(LoadSpec{Table: "ev", Format: "csv"}, strings.NewReader("4,d\n")); err != nil {
+		t.Fatalf("load after fault cleared: %v", err)
+	}
+}
+
+// TestWALCommitFailsN exercises the transient flavor: the first N
+// commits fail, then service resumes without operator action.
+func TestWALCommitFailsN(t *testing.T) {
+	s, mgr := openPersistent(t, t.TempDir(), Config{Workers: 1})
+	t.Cleanup(func() {
+		s.Close()
+		mgr.Close()
+		faultinject.Reset()
+	})
+	if _, err := s.Load(LoadSpec{Table: "ev", Format: "csv", CreateSpec: "id:int64,name:string"},
+		strings.NewReader("1,a\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable("persist/wal-commit", faultinject.FailN(errors.New("injected: transient"), 2))
+	for i := 0; i < 2; i++ {
+		if _, err := s.Load(LoadSpec{Table: "ev", Format: "csv"}, strings.NewReader("9,z\n")); !errors.Is(err, ErrDurability) {
+			t.Fatalf("attempt %d: %v, want ErrDurability", i, err)
+		}
+	}
+	if _, err := s.Load(LoadSpec{Table: "ev", Format: "csv"}, strings.NewReader("5,e\n")); err != nil {
+		t.Fatalf("load after FailN exhausted: %v", err)
+	}
+}
+
+// TestCheckpointFailpoint fails the snapshot write: Checkpoint must
+// return the injected error, leave the WAL intact (nothing was made
+// redundant), and succeed after the fault clears.
+func TestCheckpointFailpoint(t *testing.T) {
+	s, mgr := openPersistent(t, t.TempDir(), Config{Workers: 1})
+	t.Cleanup(func() {
+		s.Close()
+		mgr.Close()
+		faultinject.Reset()
+	})
+	if _, err := s.Load(LoadSpec{Table: "ev", Format: "csv", CreateSpec: "id:int64,name:string"},
+		strings.NewReader("1,a\n2,b\n")); err != nil {
+		t.Fatal(err)
+	}
+	walBefore := mgr.WALSize()
+	if walBefore == 0 {
+		t.Fatal("load produced no WAL")
+	}
+
+	boom := errors.New("injected: snapshot device full")
+	faultinject.EnableError("persist/checkpoint", boom)
+	if _, err := s.Checkpoint(); !errors.Is(err, boom) {
+		t.Fatalf("checkpoint with failpoint: %v, want injected error", err)
+	}
+	if got := mgr.WALSize(); got != walBefore {
+		t.Fatalf("failed checkpoint changed the WAL: %d -> %d bytes", walBefore, got)
+	}
+
+	faultinject.Disable("persist/checkpoint")
+	info, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint after fault cleared: %v", err)
+	}
+	if info.SnapshotBytes == 0 {
+		t.Fatalf("checkpoint info %+v", info)
+	}
+	if got := mgr.WALSize(); got != 0 {
+		t.Fatalf("WAL not reset after successful checkpoint: %d bytes", got)
+	}
+}

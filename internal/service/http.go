@@ -50,6 +50,7 @@ func (s *DB) Handler() http.Handler {
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -194,7 +195,7 @@ func (s *DB) handleLoad(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrDurability):
 			status = http.StatusInternalServerError
-		case errors.Is(err, ErrReadOnly):
+		case errors.Is(err, ErrReadOnly), errors.Is(err, ErrFenced):
 			status = http.StatusConflict
 		}
 		writeJSON(w, status, map[string]any{
@@ -217,7 +218,7 @@ func (s *DB) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Checkpoint()
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrNoPersistence) || errors.Is(err, ErrReadOnly) {
+		if errors.Is(err, ErrNoPersistence) || errors.Is(err, ErrReadOnly) || errors.Is(err, ErrFenced) {
 			status = http.StatusConflict
 		}
 		writeError(w, status, err)
@@ -245,6 +246,41 @@ func (s *DB) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is the liveness/role probe. It always answers 200 as
+// long as the process serves — a degraded replica (primary unreachable)
+// and a fenced primary still answer reads, and that is what the status
+// field reports:
+//
+//	ok        — the node is doing its job (primary accepting writes,
+//	            replica streaming or bootstrapping)
+//	degraded  — replica serving reads while the primary is unreachable
+//	            (promoteEligible says whether the stall has lasted long
+//	            enough for an operator to POST /promote)
+//	fenced    — superseded primary: reads serve, writes are rejected
+func (s *DB) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	st := s.Stats()
+	status := "ok"
+	switch {
+	case st.Fenced:
+		status = "fenced"
+	case st.Degraded:
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          status,
+		"role":            st.Role,
+		"term":            st.Term,
+		"fenced":          st.Fenced,
+		"replState":       st.ReplState,
+		"promoteEligible": st.PromoteEligible,
+		"lagBytes":        st.ReplicationLagBytes,
+	})
+}
+
 // readJSON decodes a POST body into dst, writing the error response on
 // failure.
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
@@ -269,14 +305,15 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // writeQueryError maps service errors onto status codes: overload to
-// 429, writes on a read-only replica to 409 (the error names the
-// primary), durability failures (mutation applied, WAL write failed) to
-// 500, everything else (decode/validation) to 400.
+// 429, writes on a read-only replica or a fenced (superseded) primary to
+// 409 (the error names the primary that should take them), durability
+// failures (mutation applied, WAL write failed) to 500, everything else
+// (decode/validation) to 400.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrReadOnly):
+	case errors.Is(err, ErrReadOnly), errors.Is(err, ErrFenced):
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrDurability):
 		writeError(w, http.StatusInternalServerError, err)

@@ -50,8 +50,8 @@ type LoadResult struct {
 // batch-wise.
 func (s *DB) Load(spec LoadSpec, r io.Reader) (LoadResult, error) {
 	res := LoadResult{Table: spec.Table}
-	if s.readOnly {
-		return res, s.errReadOnly()
+	if err := s.writeGuard(); err != nil {
+		return res, err
 	}
 	if spec.Table == "" {
 		return res, errors.New("service: load needs a table name")
@@ -126,8 +126,8 @@ func (s *DB) loadTarget(spec LoadSpec) (*storage.Relation, bool, error) {
 	rel := storage.NewRelation(storage.NewSchema(spec.Table, attrs...), layout)
 	s.db.AddTable(rel)
 	s.invalidate()
-	if s.persist != nil {
-		if err := s.persist.LogCreateTable(s.db.Catalog(), spec.Table); err != nil {
+	if m := s.mgr(); m != nil {
+		if err := m.LogCreateTable(s.db.Catalog(), spec.Table); err != nil {
 			s.stats.persistErrs.Add(1)
 			return nil, false, fmt.Errorf("%w: table created but not logged: %v", ErrDurability, err)
 		}
@@ -158,12 +158,12 @@ func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) erro
 	// the values appended before the failure are in the in-memory
 	// dictionary, and the next batch's delta is computed against it — a
 	// skipped delta would shift every later code on replay.
-	if s.persist != nil {
+	if m := s.mgr(); m != nil {
 		for ai, d := range rel.Dicts {
 			if d == nil || d.Len() == preDict[ai] {
 				continue
 			}
-			if err := s.persist.LogDictAppend(table, ai, d.Values()[preDict[ai]:]); err != nil {
+			if err := m.LogDictAppend(table, ai, d.Values()[preDict[ai]:]); err != nil {
 				s.stats.persistErrs.Add(1)
 				return fmt.Errorf("%w: dictionary growth not logged: %v", ErrDurability, err)
 			}
@@ -174,8 +174,8 @@ func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) erro
 	}
 	exec.RunInsert(plan.Insert{Table: table, Rows: rows}, s.db.Catalog())
 	s.invalidate()
-	if s.persist != nil {
-		if err := s.persist.LogInsert(table, width, rows); err != nil {
+	if m := s.mgr(); m != nil {
+		if err := m.LogInsert(table, width, rows); err != nil {
 			s.stats.persistErrs.Add(1)
 			return fmt.Errorf("%w: batch applied but not logged: %v", ErrDurability, err)
 		}

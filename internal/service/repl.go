@@ -14,23 +14,134 @@ import (
 // the same write lock queries contend on, so a replica serves /query,
 // /prepare and /exec exactly like a primary while staying bit-identical
 // to it at equal WAL offsets.
+//
+// Failover makes the role dynamic. Primaries are ordered by a fencing
+// term: promotion flips a replica writable at term+1, and any primary
+// that observes a higher term than its own — via the X-Repl-Term token
+// on /repl/* requests, or an explicit demote — fences itself: writes are
+// rejected with ErrFenced instead of forking the history (split-brain).
+// All role transitions go through the methods below under roleMu.
 
-// SetReadOnly flips the service into replica mode before serving starts:
-// local writes (inserts, bulk loads, re-layouts, checkpoints) are
-// rejected with ErrReadOnly naming the primary.
+// Replica tail-loop states, published by repl.Replica through
+// SetReplicaState and surfaced in /stats and /healthz.
+const (
+	// ReplStateBootstrapping: fetching the initial snapshot.
+	ReplStateBootstrapping = "bootstrapping"
+	// ReplStateStreaming: tailing the primary's WAL normally.
+	ReplStateStreaming = "streaming"
+	// ReplStateDegraded: consecutive failures talking to the primary;
+	// reads still serve, retries back off.
+	ReplStateDegraded = "degraded"
+	// ReplStateResyncing: re-fetching the snapshot after an epoch
+	// rotation (410) or a persistently unusable tail.
+	ReplStateResyncing = "resyncing"
+	// ReplStatePromoteEligible: the primary has been unreachable past
+	// the promotion threshold — an operator (or external coordinator)
+	// may POST /promote.
+	ReplStatePromoteEligible = "promote-eligible"
+)
+
+// SetReadOnly flips the service into replica mode: local writes
+// (inserts, bulk loads, re-layouts, checkpoints) are rejected with
+// ErrReadOnly naming the primary. Called before serving starts, and by
+// demotion at runtime.
 func (s *DB) SetReadOnly(primaryURL string) {
-	s.readOnly = true
-	s.primaryURL = primaryURL
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	s.role.readOnly = true
+	s.role.primaryURL = primaryURL
 }
 
 // ReadOnly reports whether the service is a read-only replica.
-func (s *DB) ReadOnly() bool { return s.readOnly }
+func (s *DB) ReadOnly() bool {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.role.readOnly
+}
 
 // PrimaryURL returns the primary this replica follows ("" on a primary).
-func (s *DB) PrimaryURL() string { return s.primaryURL }
+func (s *DB) PrimaryURL() string {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.role.primaryURL
+}
 
-func (s *DB) errReadOnly() error {
-	return fmt.Errorf("%w: writes go to the primary at %s", ErrReadOnly, s.primaryURL)
+// Term returns the node's current fencing term.
+func (s *DB) Term() uint64 {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.role.term
+}
+
+// AdoptTerm raises the node's term to t if higher — the normal
+// propagation path: replicas adopt the term their primary reports.
+func (s *DB) AdoptTerm(t uint64) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if t > s.role.term {
+		s.role.term = t
+	}
+}
+
+// Promote flips the node into primary mode at the given term: writes are
+// accepted, fencing state is cleared. The repl.Node drives this after
+// stopping the tail loop and draining what the old primary could still
+// serve.
+func (s *DB) Promote(term uint64) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	s.role = roleState{term: term}
+}
+
+// Fence freezes a superseded primary: term rises to at least term, and
+// every write from now on fails with ErrFenced naming the superseding
+// primary (when known). Reads keep serving. Fencing a replica is
+// harmless — it is already read-only — and the flag clears on its next
+// successful bootstrap.
+func (s *DB) Fence(term uint64, by string) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if term > s.role.term {
+		s.role.term = term
+	}
+	s.role.fenced = true
+	if by != "" {
+		s.role.fencedBy = by
+	}
+}
+
+// Fenced reports whether the node has been fenced, and by whom.
+func (s *DB) Fenced() (bool, string) {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.role.fenced, s.role.fencedBy
+}
+
+// ClearFence drops the fenced flag — called when a demoted node finishes
+// bootstrapping from the new primary and is a consistent replica again.
+func (s *DB) ClearFence() {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	s.role.fenced = false
+	s.role.fencedBy = ""
+}
+
+// writeGuard rejects local mutations on nodes that must not accept them:
+// fenced (superseded) primaries and read-only replicas.
+func (s *DB) writeGuard() error {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	if s.role.fenced {
+		if s.role.fencedBy != "" {
+			return fmt.Errorf("%w: superseded by primary %s at term %d",
+				ErrFenced, s.role.fencedBy, s.role.term)
+		}
+		return fmt.Errorf("%w: superseded at term %d", ErrFenced, s.role.term)
+	}
+	if s.role.readOnly {
+		return fmt.Errorf("%w: writes go to the primary at %s", ErrReadOnly, s.role.primaryURL)
+	}
+	return nil
 }
 
 // SwapCore replaces the wrapped database wholesale — the replica
@@ -102,3 +213,11 @@ func (s *DB) SetReplicaProgress(epoch uint64, offset, records, lagBytes, lagReco
 // NoteReplicaSync counts a snapshot bootstrap (the first sync and every
 // epoch-rotation resync).
 func (s *DB) NoteReplicaSync() { s.repl.syncs.Add(1) }
+
+// NoteReplicaRetry counts a failed bootstrap or tail attempt that the
+// replica will retry with backoff.
+func (s *DB) NoteReplicaRetry() { s.repl.retries.Add(1) }
+
+// SetReplicaState publishes the tail loop's state-machine position (one
+// of the ReplState constants) for /stats and /healthz.
+func (s *DB) SetReplicaState(state string) { s.repl.state.Store(state) }

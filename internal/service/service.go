@@ -60,6 +60,13 @@ var ErrDurability = errors.New("service: durability failure")
 // primary the write belongs on; HTTP maps it to 409.
 var ErrReadOnly = errors.New("service: read-only replica")
 
+// ErrFenced reports a write on a fenced node: a primary that observed a
+// higher replication term (a replica was promoted over it) and must not
+// accept writes anymore, or split-brain would fork the history. The
+// wrapped message names the superseding term (and primary, when known);
+// HTTP maps it to 409.
+var ErrFenced = errors.New("service: fenced stale primary")
+
 // Config sizes the service.
 type Config struct {
 	// Workers is the shared pool's worker count: 0 means GOMAXPROCS,
@@ -105,19 +112,37 @@ type DB struct {
 
 	// Durability (nil persist = in-memory only). Loggers run under the
 	// catalog write lock; Checkpoint runs under the read lock so queries
-	// keep executing while the snapshot is written.
-	persist       *persist.Manager
-	ckptThreshold int64
+	// keep executing while the snapshot is written. The pointer and the
+	// threshold are atomic because failover changes them at runtime: a
+	// promoted replica attaches fresh storage, a demoted primary detaches
+	// its now-stale one.
+	persistMgr    atomic.Pointer[persist.Manager]
+	ckptThreshold atomic.Int64
 	ckptMu        sync.Mutex  // serializes checkpoints
 	ckptPending   atomic.Bool // one background checkpoint goroutine at a time
 
-	// Replication role. readOnly/primaryURL are set once before serving
-	// (SetReadOnly); the counters are written by the repl package.
-	readOnly   bool
-	primaryURL string
-	repl       replCounters
+	// Replication role: primary or read-only replica, plus the fencing
+	// term ordering primaries across failovers. Unlike the seed design
+	// (set once before serving), the role changes at runtime — promotion
+	// flips a replica writable, fencing freezes a superseded primary — so
+	// every access goes through roleMu.
+	roleMu sync.RWMutex
+	role   roleState
+	repl   replCounters
 
 	stats statsCounters
+}
+
+// roleState is the node's replication identity. term is the fencing
+// token: it only ever rises, a promotion takes term+1, and a primary
+// that observes a higher term than its own has been superseded and must
+// fence itself (reject writes) instead of split-braining.
+type roleState struct {
+	readOnly   bool
+	primaryURL string // replica: the primary it follows
+	term       uint64
+	fenced     bool
+	fencedBy   string // superseding primary's URL, when known
 }
 
 // replCounters tracks replication state for /stats: the follower gauge
@@ -130,6 +155,8 @@ type replCounters struct {
 	lagBytes   atomic.Int64
 	lagRecords atomic.Int64
 	syncs      atomic.Int64 // snapshot bootstraps (1 = initial, more = resyncs)
+	retries    atomic.Int64 // replica: failed bootstrap/tail attempts that were retried
+	state      atomic.Value // replica: tail-loop state machine (string)
 }
 
 // planLRU is the compiled-plan cache: most recent at the list front,
@@ -251,7 +278,7 @@ func New(db *core.DB, cfg Config) *DB {
 	if timeout <= 0 {
 		timeout = time.Second
 	}
-	return &DB{
+	s := &DB{
 		db:           db,
 		pool:         pool,
 		opt:          opt,
@@ -260,20 +287,36 @@ func New(db *core.DB, cfg Config) *DB {
 		sem:          make(chan struct{}, inFlight),
 		queueTimeout: timeout,
 	}
+	// Every node starts at term 1; replicas adopt the primary's term on
+	// bootstrap and a promotion takes term+1.
+	s.role.term = 1
+	return s
 }
 
 // AttachPersist wires a durability manager into the service: inserts,
 // bulk loads and re-layout decisions are WAL-logged under the catalog
 // write lock, and a background checkpoint runs whenever the WAL exceeds
 // walCheckpointBytes (0 means 64 MB; negative disables the automatic
-// trigger — /checkpoint still works). Call before serving starts.
+// trigger — /checkpoint still works). Called before serving starts, and
+// again by promotion when a replica becomes a durable primary.
 func (s *DB) AttachPersist(m *persist.Manager, walCheckpointBytes int64) {
 	if walCheckpointBytes == 0 {
 		walCheckpointBytes = 64 << 20
 	}
-	s.persist = m
-	s.ckptThreshold = walCheckpointBytes
+	s.ckptThreshold.Store(walCheckpointBytes)
+	s.persistMgr.Store(m)
 }
+
+// DetachPersist unhooks the durability manager — the demotion path: a
+// primary that now follows someone else must stop logging, since its
+// local snapshot+WAL no longer describe the authoritative history. It
+// returns the detached manager for the caller to close.
+func (s *DB) DetachPersist() *persist.Manager {
+	return s.persistMgr.Swap(nil)
+}
+
+// mgr returns the attached durability manager (nil = in-memory only).
+func (s *DB) mgr() *persist.Manager { return s.persistMgr.Load() }
 
 // Close stops the shared pool. In-flight queries finish (a closed pool
 // degrades to inline serial execution); new queries keep working serially.
@@ -453,8 +496,8 @@ func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
 // slice accessors may reference the grown table) and is WAL-logged when
 // persistence is attached.
 func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
-	if s.readOnly {
-		return nil, s.errReadOnly()
+	if err := s.writeGuard(); err != nil {
+		return nil, err
 	}
 	s.catalogMu.Lock()
 	res, err := func() (*result.Set, error) {
@@ -464,10 +507,10 @@ func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
 		}
 		res := s.db.Query(p)
 		s.invalidate()
-		if s.persist != nil {
+		if m := s.mgr(); m != nil {
 			ins := p.(plan.Insert)
 			width := s.db.Catalog().Table(ins.Table).Schema.Width()
-			if err := s.persist.LogInsert(ins.Table, width, ins.Rows); err != nil {
+			if err := m.LogInsert(ins.Table, width, ins.Rows); err != nil {
 				s.stats.persistErrs.Add(1)
 				return nil, fmt.Errorf("%w: insert applied but not logged: %v", ErrDurability, err)
 			}
@@ -550,17 +593,17 @@ func (s *DB) invalidate() {
 // re-applies the exact chosen layouts. A replica refuses: its layouts
 // are the primary's, shipped through the WAL.
 func (s *DB) OptimizeLayouts() ([]core.LayoutChange, error) {
-	if s.readOnly {
-		return nil, s.errReadOnly()
+	if err := s.writeGuard(); err != nil {
+		return nil, err
 	}
 	s.catalogMu.Lock()
 	defer s.catalogMu.Unlock()
 	changes := s.db.OptimizeLayouts()
 	s.invalidate()
 	s.stats.relayouts.Add(1)
-	if s.persist != nil {
+	if m := s.mgr(); m != nil {
 		for _, ch := range changes {
-			if err := s.persist.LogRelayout(ch.Table, ch.New); err != nil {
+			if err := m.LogRelayout(ch.Table, ch.New); err != nil {
 				s.stats.persistErrs.Add(1)
 			}
 		}
@@ -572,17 +615,18 @@ func (s *DB) OptimizeLayouts() ([]core.LayoutChange, error) {
 // the WAL. It runs under the catalog read lock: concurrent queries keep
 // executing, mutations wait. Concurrent checkpoints serialize.
 func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
-	if s.readOnly {
-		return persist.CheckpointInfo{}, s.errReadOnly()
+	if err := s.writeGuard(); err != nil {
+		return persist.CheckpointInfo{}, err
 	}
-	if s.persist == nil {
+	m := s.mgr()
+	if m == nil {
 		return persist.CheckpointInfo{}, ErrNoPersistence
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	s.catalogMu.RLock()
 	defer s.catalogMu.RUnlock()
-	info, err := s.persist.Checkpoint(s.db)
+	info, err := m.Checkpoint(s.db)
 	if err != nil {
 		s.stats.persistErrs.Add(1)
 		return info, err
@@ -596,7 +640,8 @@ func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
 // runs at a time; failures are counted, not fatal (the WAL still holds
 // the data).
 func (s *DB) maybeCheckpointAsync() {
-	if s.persist == nil || s.ckptThreshold <= 0 || s.persist.WALSize() < s.ckptThreshold {
+	m := s.mgr()
+	if m == nil || s.ckptThreshold.Load() <= 0 || m.WALSize() < s.ckptThreshold.Load() {
 		return
 	}
 	if !s.ckptPending.CompareAndSwap(false, true) {
@@ -706,8 +751,13 @@ type Stats struct {
 
 	// Replication. Role is "primary" or "replica"; a primary reports the
 	// follower gauge, a replica its apply position and lag behind the
-	// primary's committed WAL.
+	// primary's committed WAL. Term is the fencing token ordering
+	// primaries across failovers; a fenced node is a superseded primary
+	// rejecting writes.
 	Role                  string `json:"role"`
+	Term                  uint64 `json:"term"`                  // fencing term (promotion takes term+1)
+	Fenced                bool   `json:"fenced"`                // superseded primary: writes rejected
+	FencedBy              string `json:"fencedBy,omitempty"`    // superseding primary, when known
 	Followers             int64  `json:"followers"`             // primary: connected WAL tail streams
 	ReplPrimary           string `json:"replPrimary,omitempty"` // replica: the primary's URL
 	ReplEpoch             uint64 `json:"replEpoch"`             // replica: epoch being applied
@@ -716,6 +766,10 @@ type Stats struct {
 	ReplicationLagBytes   int64  `json:"replicationLagBytes"`   // replica: committed bytes not yet applied
 	ReplicationLagRecords int64  `json:"replicationLagRecords"` // replica: records not yet applied
 	ReplSyncs             int64  `json:"replSyncs"`             // replica: snapshot bootstraps (>1 = resyncs)
+	ReplRetries           int64  `json:"replRetries"`           // replica: retried bootstrap/tail failures
+	ReplState             string `json:"replState,omitempty"`   // replica: tail-loop state machine
+	PromoteEligible       bool   `json:"promoteEligible"`       // replica: primary unreachable past threshold
+	Degraded              bool   `json:"degraded"`              // replica serving reads without a reachable primary
 }
 
 // Stats snapshots the counters.
@@ -746,15 +800,21 @@ func (s *DB) Stats() Stats {
 		PlanCacheLimit:  cacheCap,
 		PlanCacheShapes: cacheShapes,
 	}
-	if s.persist != nil {
+	if m := s.mgr(); m != nil {
 		st.Persistent = true
-		st.WALBytes = s.persist.WALSize()
+		st.WALBytes = m.WALSize()
 	}
+	s.roleMu.RLock()
+	role := s.role
+	s.roleMu.RUnlock()
 	st.Role = "primary"
+	st.Term = role.term
+	st.Fenced = role.fenced
+	st.FencedBy = role.fencedBy
 	st.Followers = s.repl.followers.Load()
-	if s.readOnly {
+	if role.readOnly {
 		st.Role = "replica"
-		st.ReplPrimary = s.primaryURL
+		st.ReplPrimary = role.primaryURL
 		st.ReplEpoch = s.repl.epoch.Load()
 		st.ReplOffset = s.repl.offset.Load()
 		st.ReplRecords = s.repl.records.Load()
@@ -762,6 +822,12 @@ func (s *DB) Stats() Stats {
 		st.ReplicationLagRecords = s.repl.lagRecords.Load()
 	}
 	st.ReplSyncs = s.repl.syncs.Load()
+	st.ReplRetries = s.repl.retries.Load()
+	if state, ok := s.repl.state.Load().(string); ok {
+		st.ReplState = state
+		st.PromoteEligible = state == ReplStatePromoteEligible
+		st.Degraded = state == ReplStateDegraded || state == ReplStatePromoteEligible
+	}
 	return st
 }
 
