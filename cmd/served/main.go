@@ -18,6 +18,7 @@
 //	POST /checkpoint {}                      snapshot the catalog, reset the WAL
 //	GET  /tables                             list served tables
 //	GET  /stats                              service counters
+//	GET  /metrics                            Prometheus text exposition
 //	GET  /healthz                            liveness + role health (ok/degraded/fenced)
 //	GET  /repl/snapshot                      (primary) replication bootstrap
 //	GET  /repl/wal?epoch=E&offset=N          (primary) WAL tail long-poll
@@ -64,10 +65,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -89,14 +94,30 @@ func main() {
 		ckptWALMB   = flag.Int("checkpoint-wal-mb", 64, "with -data-dir: WAL size triggering a background checkpoint (<= 0 disables)")
 		coalesceMS  = flag.Int("wal-coalesce-ms", 0, "with -data-dir: coalesce consecutive insert WAL records within this window (0 = off)")
 		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this URL")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries at least this slow with their operator trace (0 = off)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (empty = off)")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		verbose     = flag.Bool("v", false, "debug logging (includes one line per HTTP request)")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	slog.SetDefault(slog.New(h))
 
 	cfg := service.Config{
 		Workers:      *workers,
 		MaxInFlight:  *maxInFlight,
 		QueueTimeout: *queueWait,
 	}
+	slowQuery := time.Duration(*slowQueryMS) * time.Millisecond
 
 	threshold := int64(*ckptWALMB) << 20
 	if *ckptWALMB <= 0 {
@@ -104,7 +125,7 @@ func main() {
 	}
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg)
+		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg, *drain, *pprofAddr, slowQuery)
 		return
 	}
 
@@ -116,15 +137,15 @@ func main() {
 		var err error
 		db, mgr, err = persist.Open(persist.Options{Dir: *dataDir, Fsync: *fsync, Fresh: !*restore})
 		if err != nil {
-			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+			fatal("opening data dir", err, slog.String("dir", *dataDir))
 		}
 		defer mgr.Close()
 		if n := len(db.Catalog().Names()); n > 0 {
-			log.Printf("recovered %d table(s) from %s", n, *dataDir)
+			slog.Info("recovered catalog", slog.Int("tables", n), slog.String("dir", *dataDir))
 		}
 		if *coalesceMS > 0 {
 			if err := mgr.SetCoalesce(time.Duration(*coalesceMS)*time.Millisecond, 0); err != nil {
-				log.Fatalf("enabling WAL coalescing: %v", err)
+				fatal("enabling WAL coalescing", err)
 			}
 		}
 	} else {
@@ -133,7 +154,7 @@ func main() {
 
 	freshDemo := false
 	if len(db.Catalog().Names()) == 0 && *rows > 0 {
-		log.Printf("loading demo relation R (%d rows, 16 int64 attributes)", *rows)
+		slog.Info("loading demo relation R", slog.Int("rows", *rows), slog.Int("attrs", 16))
 		service.LoadDemo(db, *rows)
 		freshDemo = true
 	}
@@ -143,19 +164,20 @@ func main() {
 
 	s := service.New(db, cfg)
 	defer s.Close()
+	s.SetSlowQueryThreshold(slowQuery)
 	handler := s.Handler()
 	if mgr != nil {
 		s.AttachPersist(mgr, threshold)
 		if freshDemo {
 			if _, err := s.Checkpoint(); err != nil {
-				log.Fatalf("initial checkpoint: %v", err)
+				fatal("initial checkpoint", err)
 			}
 		}
 		// A durable primary can feed replicas and be demoted after a
 		// failover: run it as a Node.
 		node := repl.NewNode(s, repl.NodeConfig{Mgr: mgr, CheckpointWAL: threshold})
 		if err := node.Start(context.Background()); err != nil {
-			log.Fatalf("starting replication node: %v", err)
+			fatal("starting replication node", err)
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -164,18 +186,32 @@ func main() {
 	}
 
 	st := s.Stats()
-	fmt.Printf("served: listening on %s (workers=%d, max in-flight=%d, durable=%v)\n",
-		*addr, st.Workers, st.MaxInFlight, st.Persistent)
-	log.Fatal(serve(*addr, handler))
+	slog.Info("served: listening", slog.String("addr", *addr), slog.Int("workers", st.Workers),
+		slog.Int("maxInFlight", st.MaxInFlight), slog.Bool("durable", st.Persistent))
+	// On a drained shutdown a durable primary checkpoints, so the next
+	// start recovers from a snapshot instead of a long WAL replay.
+	err := serve(*addr, handler, *drain, *pprofAddr, func() {
+		if s.Stats().Persistent {
+			if _, err := s.Checkpoint(); err != nil {
+				slog.Warn("final checkpoint failed", slog.Any("err", err))
+			} else {
+				slog.Info("final checkpoint written")
+			}
+		}
+	})
+	if err != nil {
+		fatal("serving", err)
+	}
 }
 
 // runReplica starts a read-only replica node: it serves immediately
 // (reads return empty results until the first bootstrap lands) while the
 // node's tail loop bootstraps and follows the primary with backoff, and
 // it mounts /promote and /demote so an operator can fail it over.
-func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config) {
+func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config, drain time.Duration, pprofAddr string, slowQuery time.Duration) {
 	s := service.New(core.Open(), cfg)
 	defer s.Close()
+	s.SetSlowQueryThreshold(slowQuery)
 
 	nodeCfg := repl.NodeConfig{PrimaryURL: primary, CheckpointWAL: threshold}
 	if dataDir != "" {
@@ -193,23 +229,46 @@ func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg 
 	}
 	node := repl.NewNode(s, nodeCfg)
 	if err := node.Start(context.Background()); err != nil {
-		log.Fatalf("starting replica node: %v", err)
+		fatal("starting replica node", err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
 	node.Mount(mux)
 
 	st := s.Stats()
-	fmt.Printf("served: replica of %s listening on %s (workers=%d, promotable=%v)\n",
-		primary, addr, st.Workers, dataDir != "")
-	log.Fatal(serve(addr, mux))
+	slog.Info("served: replica listening", slog.String("addr", addr), slog.String("primary", primary),
+		slog.Int("workers", st.Workers), slog.Bool("promotable", dataDir != ""))
+	// A promoted replica is durable by shutdown time: checkpoint it like
+	// a primary so its followers bootstrap from a fresh snapshot.
+	err := serve(addr, mux, drain, pprofAddr, func() {
+		node.Stop()
+		if s.Stats().Persistent {
+			if _, err := s.Checkpoint(); err != nil {
+				slog.Warn("final checkpoint failed", slog.Any("err", err))
+			}
+		}
+	})
+	if err != nil {
+		fatal("serving", err)
+	}
 }
 
 // serve runs the HTTP server with sane timeouts: slowloris protection on
 // headers, a generous body window (bulk loads stream for a while), and
 // idle-connection reaping. No WriteTimeout — /repl/wal long-polls and
 // large query results must not be cut off mid-response.
-func serve(addr string, handler http.Handler) error {
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-
+// flight requests get the drain window to finish (then the server closes
+// hard), and onDrained runs last — the final-checkpoint hook.
+func serve(addr string, handler http.Handler, drain time.Duration, pprofAddr string, onDrained func()) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if pprofAddr != "" {
+		go servePprof(pprofAddr)
+	}
+
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -217,5 +276,44 @@ func serve(addr string, handler http.Handler) error {
 		ReadTimeout:       10 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	slog.Info("shutting down", slog.Duration("drain", drain))
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		slog.Warn("drain window elapsed, closing connections", slog.Any("err", err))
+		_ = srv.Close()
+	}
+	if onDrained != nil {
+		onDrained()
+	}
+	return nil
+}
+
+// servePprof mounts net/http/pprof on its own listener, so profiling
+// endpoints never ride on the public API address.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	slog.Info("pprof debug listener", slog.String("addr", addr))
+	if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		slog.Warn("pprof listener failed", slog.Any("err", err))
+	}
+}
+
+// fatal logs one structured error line and exits non-zero.
+func fatal(msg string, err error, args ...any) {
+	slog.Error(msg, append([]any{slog.Any("err", err)}, args...)...)
+	os.Exit(1)
 }

@@ -1,9 +1,13 @@
 package jit
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/exec"
 	"repro/internal/exec/par"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -15,7 +19,12 @@ import (
 // "registers". Under the morsel scheduler the loop runs once per morsel
 // into per-morsel partial accumulators; integer addition is exact, so the
 // morsel-order reduction is bit-identical to the serial loop.
-func fastScanAggregate(p *pipe, v plan.Aggregate, opt par.Options) ([][]storage.Word, bool) {
+//
+// When the trace is armed, the same kernel runs with its morsels timed
+// from the outside: the fused scan-aggregate loop is one operator pair in
+// the trace — the scan op takes the per-morsel lanes, the group-by op the
+// reduction totals — without touching the loop body itself.
+func fastScanAggregate(p *pipe, v plan.Aggregate, opt par.Options, tr *obs.QueryTrace, aggIdx int) ([][]storage.Word, bool) {
 	if len(p.stages) != 0 || p.complex != nil || p.useIndex || len(v.GroupBy) != 0 {
 		return nil, false
 	}
@@ -108,16 +117,37 @@ func fastScanAggregate(p *pipe, v plan.Aggregate, opt par.Options) ([][]storage.
 	n := p.rel.Rows()
 	var accs []int64
 	var count int64
+	aggStart := time.Now()
 	if opt.Parallel() {
 		type partial struct {
 			accs  []int64
 			count int64
 		}
 		parts := make([]partial, opt.Morsels(n))
-		par.Run(n, opt, func(_, m, lo, hi int) {
-			a, cnt := accumulate(lo, hi)
-			parts[m] = partial{accs: a, count: cnt}
-		})
+		if tr == nil {
+			par.Run(n, opt, func(_, m, lo, hi int) {
+				a, cnt := accumulate(lo, hi)
+				parts[m] = partial{accs: a, count: cnt}
+			})
+		} else {
+			morsels, workers := opt.Morsels(n), opt.WorkerCount()
+			scanOp := tr.Op(p.srcOp)
+			par.Run(n, opt, func(w, m, lo, hi int) {
+				start := time.Now()
+				a, cnt := accumulate(lo, hi)
+				nanos := time.Since(start).Nanoseconds()
+				parts[m] = partial{accs: a, count: cnt}
+				scanOp.Add(int64(hi-lo), cnt, nanos)
+				if l := scanOp.Lane(w); l != nil {
+					l.Rows += cnt
+					l.Nanos += nanos
+					l.Morsels++
+					if par.ExpectedWorker(m, morsels, workers) != w {
+						l.Stolen++
+					}
+				}
+			})
+		}
 		accs = make([]int64, len(sums))
 		for _, pt := range parts {
 			count += pt.count
@@ -127,6 +157,19 @@ func fastScanAggregate(p *pipe, v plan.Aggregate, opt par.Options) ([][]storage.
 		}
 	} else {
 		accs, count = accumulate(0, n)
+		if tr != nil {
+			nanos := time.Since(aggStart).Nanoseconds()
+			scanOp := tr.Op(p.srcOp)
+			scanOp.Add(int64(n), count, nanos)
+			if l := scanOp.Lane(0); l != nil {
+				l.Rows += count
+				l.Nanos += nanos
+				l.Morsels++
+			}
+		}
+	}
+	if tr != nil {
+		tr.Op(aggIdx).Add(count, 1, time.Since(aggStart).Nanoseconds())
 	}
 
 	row := make([]storage.Word, len(v.Aggs))
@@ -300,7 +343,7 @@ func (s *groupSink) rows() [][]storage.Word {
 // aggregate arguments are compiled once; under the morsel scheduler each
 // morsel feeds its own sink and the sinks merge in morsel order, which is
 // exact (and therefore enabled) only while no float sums are involved.
-func genericAggregate(p *pipe, v plan.Aggregate, opt par.Options) [][]storage.Word {
+func genericAggregate(p *pipe, v plan.Aggregate, opt par.Options, tr *obs.QueryTrace, aggIdx int) [][]storage.Word {
 	args := make([]argComp, len(v.Aggs))
 	specs := make([]expr.AggSpec, len(v.Aggs))
 	for i, spec := range v.Aggs {
@@ -322,22 +365,57 @@ func genericAggregate(p *pipe, v plan.Aggregate, opt par.Options) [][]storage.Wo
 		n := p.rel.Rows()
 		sinks := make([]*groupSink, opt.Morsels(n))
 		pool := make([]*pipeWorker, opt.WorkerCount())
+		if tr == nil {
+			par.Run(n, opt, func(w, m, lo, hi int) {
+				ws := p.worker(pool, w)
+				ms := newGroupSink(v, specs, args)
+				ws.pipe.runRange(lo, hi, ws.regs, ms.fold)
+				sinks[m] = ms
+			})
+			total := newGroupSink(v, specs, args)
+			for _, ms := range sinks {
+				total.merge(ms)
+			}
+			return total.rows()
+		}
+		morsels, workers := opt.Morsels(n), opt.WorkerCount()
+		var folded atomic.Int64
+		aggStart := time.Now()
 		par.Run(n, opt, func(w, m, lo, hi int) {
 			ws := p.worker(pool, w)
 			ms := newGroupSink(v, specs, args)
-			ws.pipe.runRange(lo, hi, ws.regs, ms.fold)
+			cn := make([]int64, 2+len(p.stages))
+			start := time.Now()
+			ws.pipe.runRangeCount(lo, hi, ws.regs, cn, ms.fold)
+			nanos := time.Since(start).Nanoseconds()
 			sinks[m] = ms
+			var stolen int64
+			if par.ExpectedWorker(m, morsels, workers) != w {
+				stolen = 1
+			}
+			p.flushCounts(tr, w, cn, nanos, 1, stolen)
+			folded.Add(emittedOf(cn, len(p.stages)))
 		})
 		total := newGroupSink(v, specs, args)
 		for _, ms := range sinks {
 			total.merge(ms)
 		}
-		return total.rows()
+		rows := total.rows()
+		tr.Op(aggIdx).Add(folded.Load(), int64(len(rows)), time.Since(aggStart).Nanoseconds())
+		return rows
 	}
 
 	// Clone for the same reason as the serial row path: stage buffers and
 	// the index-lookup scratch are per-execution state under concurrency.
 	sink := newGroupSink(v, specs, args)
-	p.cloneForWorker().run(sink.fold)
-	return sink.rows()
+	q := p.cloneForWorker()
+	if tr == nil {
+		q.run(sink.fold)
+		return sink.rows()
+	}
+	start := time.Now()
+	folded := q.runTraced(tr, sink.fold)
+	rows := sink.rows()
+	tr.Op(aggIdx).Add(folded, int64(len(rows)), time.Since(start).Nanoseconds())
+	return rows
 }

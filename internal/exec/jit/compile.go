@@ -17,6 +17,7 @@ package jit
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/exec/joinpar"
@@ -89,6 +90,8 @@ type stage struct {
 	outWidth int
 
 	buf []storage.Word // output registers of width-changing stages
+
+	opIdx int // trace-op index of the operator this stage implements
 }
 
 // mapSlot computes one output register; column references compile to plain
@@ -115,24 +118,29 @@ type pipe struct {
 	srcWidth  int
 	stages    []stage
 	outWidth  int
+	srcOp     int // trace-op index of the source scan
 }
 
 // compilePipe lowers a plan subtree into a pipeline. The caller must not
 // pass pipeline breakers (Aggregate, Sort, Limit, Insert). opt governs the
-// execution of nested pipeline breakers (hash-join build sides).
-func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options) *pipe {
+// execution of nested pipeline breakers (hash-join build sides). Every
+// operator registers a trace descriptor in tb before its children, keeping
+// the trace in plan pre-order even though stages compile child-first.
+func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options, tb *traceBuild, depth int) *pipe {
 	switch v := n.(type) {
 	case plan.Scan:
-		return compileScan(v, c)
+		return compileScan(v, c, tb, depth)
 
 	case plan.Select:
-		p := compilePipe(v.Child, c, opt)
+		idx := tb.add("select", "", depth)
+		p := compilePipe(v.Child, c, opt, tb, depth+1)
 		tests, complexPred := compileRegPred(v.Pred)
-		p.stages = append(p.stages, stage{kind: stFilter, tests: tests, complex: complexPred})
+		p.stages = append(p.stages, stage{kind: stFilter, tests: tests, complex: complexPred, opIdx: idx})
 		return p
 
 	case plan.Project:
-		p := compilePipe(v.Child, c, opt)
+		idx := tb.add("project", fmt.Sprintf("exprs=%d", len(v.Exprs)), depth)
+		p := compilePipe(v.Child, c, opt, tb, depth+1)
 		maps := make([]mapSlot, len(v.Exprs))
 		for i, e := range v.Exprs {
 			if col, ok := e.(expr.Col); ok {
@@ -146,6 +154,7 @@ func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options) *pipe {
 			maps:     maps,
 			outWidth: len(maps),
 			buf:      make([]storage.Word, len(maps)),
+			opIdx:    idx,
 		})
 		p.outWidth = len(maps)
 		return p
@@ -154,17 +163,28 @@ func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options) *pipe {
 		// Build side: materialize (pipeline breaker) and radix-partition
 		// the rows into per-partition flat buffers + hash tables; under
 		// serial options this degenerates to the single flat buffer.
-		leftRows := prepareNode(v.Left, c, opt)()
+		//
+		// The build executes here, at compile time, so its trace entry is
+		// Static: measured once and replayed by every cached execution. The
+		// left subtree's own operators are compiled against a throwaway
+		// traceBuild — they never run again, so they have no per-execution
+		// accumulators.
+		probeIdx := tb.add("join-probe", "", depth)
+		buildIdx := tb.add("join-build", "", depth+1)
+		start := time.Now()
+		leftRows := prepareNode(v.Left, c, opt, &traceBuild{}, 0)(nil)
 		leftWidth := nodeWidth(v.Left, c)
 		jt := joinpar.Build(leftRows, v.LeftKey, leftWidth, opt)
+		tb.setStatic(buildIdx, int64(len(leftRows)), int64(len(leftRows)), time.Since(start).Nanoseconds())
 		// Probe side: continue the pipeline.
-		p := compilePipe(v.Right, c, opt)
+		p := compilePipe(v.Right, c, opt, tb, depth+1)
 		p.stages = append(p.stages, stage{
 			kind:     stProbe,
 			jt:       jt,
 			keyReg:   v.RightKey,
 			addWidth: leftWidth,
 			buf:      make([]storage.Word, leftWidth+p.outWidth),
+			opIdx:    probeIdx,
 		})
 		p.outWidth = leftWidth + p.outWidth
 		return p
@@ -172,7 +192,7 @@ func compilePipe(n plan.Node, c *plan.Catalog, opt par.Options) *pipe {
 	panic(fmt.Sprintf("jit: node %T is not pipelineable", n))
 }
 
-func compileScan(v plan.Scan, c *plan.Catalog) *pipe {
+func compileScan(v plan.Scan, c *plan.Catalog, tb *traceBuild, depth int) *pipe {
 	rel := c.Table(v.Table)
 	p := &pipe{rel: rel, srcWidth: len(v.Cols), outWidth: len(v.Cols)}
 	filter := v.Filter
@@ -182,6 +202,11 @@ func compileScan(v plan.Scan, c *plan.Catalog) *pipe {
 		p.key = acc.Key
 		filter = acc.Rest
 	}
+	detail := "table=" + v.Table
+	if p.useIndex {
+		detail += " index"
+	}
+	p.srcOp = tb.add("scan", detail, depth)
 	p.baseTests, p.complex = compileBasePred(filter, rel)
 	p.loads = make([]load, 0, len(v.Cols))
 	for i, attr := range v.Cols {

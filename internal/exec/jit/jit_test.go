@@ -62,12 +62,12 @@ func fig2cPlan() plan.Aggregate {
 func TestFastPathTaken(t *testing.T) {
 	c := jitCatalog(5000)
 	v := fig2cPlan()
-	p := compilePipe(v.Child, c, par.Serial())
-	fast, ok := fastScanAggregate(p, v, par.Serial())
+	p := compilePipe(v.Child, c, par.Serial(), &traceBuild{}, 0)
+	fast, ok := fastScanAggregate(p, v, par.Serial(), nil, -1)
 	if !ok {
 		t.Fatal("Figure 2c shape must take the fused fast path")
 	}
-	slow := genericAggregate(compilePipe(v.Child, c, par.Serial()), v, par.Serial())
+	slow := genericAggregate(compilePipe(v.Child, c, par.Serial(), &traceBuild{}, 0), v, par.Serial(), nil, -1)
 	if len(fast) != 1 || len(slow) != 1 {
 		t.Fatal("both paths must emit one row")
 	}
@@ -86,19 +86,19 @@ func TestFastPathRejections(t *testing.T) {
 
 	grouped := base
 	grouped.GroupBy = []int{0}
-	if _, ok := fastScanAggregate(compilePipe(grouped.Child, c, par.Serial()), grouped, par.Serial()); ok {
+	if _, ok := fastScanAggregate(compilePipe(grouped.Child, c, par.Serial(), &traceBuild{}, 0), grouped, par.Serial(), nil, -1); ok {
 		t.Error("grouped aggregation must not take the fast path")
 	}
 
 	avg := base
 	avg.Aggs = []expr.AggSpec{{Kind: expr.Avg, Arg: expr.IntCol(0), Name: "x"}}
-	if _, ok := fastScanAggregate(compilePipe(avg.Child, c, par.Serial()), avg, par.Serial()); ok {
+	if _, ok := fastScanAggregate(compilePipe(avg.Child, c, par.Serial(), &traceBuild{}, 0), avg, par.Serial(), nil, -1); ok {
 		t.Error("avg must not take the fast path")
 	}
 
 	arith := base
 	arith.Aggs = []expr.AggSpec{{Kind: expr.Sum, Arg: expr.Arith{Op: expr.Add, L: expr.IntCol(0), R: expr.IntConst(1)}, Name: "x"}}
-	if _, ok := fastScanAggregate(compilePipe(arith.Child, c, par.Serial()), arith, par.Serial()); ok {
+	if _, ok := fastScanAggregate(compilePipe(arith.Child, c, par.Serial(), &traceBuild{}, 0), arith, par.Serial(), nil, -1); ok {
 		t.Error("computed aggregate arguments must not take the fast path")
 	}
 }
@@ -120,7 +120,7 @@ func TestPipelineDecomposition(t *testing.T) {
 		LeftKey:  0,
 		RightKey: 0,
 	}
-	p := compilePipe(join, c, par.Serial())
+	p := compilePipe(join, c, par.Serial(), &traceBuild{}, 0)
 	if p.rel.Schema.Name != "r" {
 		t.Error("probe side must stream the right child")
 	}
@@ -169,7 +169,7 @@ func TestIndexPipelinesSkipScan(t *testing.T) {
 	idxPlan := plan.Scan{Table: "r", Filter: expr.Cmp{Attr: 0, Op: expr.Eq, Val: storage.EncodeInt(7)}, Cols: []int{0, 1}}
 	noIdx := New().Run(idxPlan, c)
 	c.AddIndex("r", 0, buildIdx(relR))
-	p := compilePipe(idxPlan, c, par.Serial())
+	p := compilePipe(idxPlan, c, par.Serial(), &traceBuild{}, 0)
 	if !p.useIndex {
 		t.Fatal("indexed equality scan must use the index")
 	}

@@ -1,8 +1,11 @@
 package jit
 
 import (
+	"time"
+
 	"repro/internal/exec/par"
 	"repro/internal/exec/result"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -53,18 +56,38 @@ func (p *pipe) worker(pool []*pipeWorker, w int) *pipeWorker {
 // the emitted rows. Every morsel buffers its emits separately (backed by
 // the claiming worker's arena); the buffers are concatenated in morsel
 // order, so the output is row-for-row identical to the serial loop.
-func (p *pipe) runParallelRows(opt par.Options) [][]storage.Word {
+func (p *pipe) runParallelRows(opt par.Options, tr *obs.QueryTrace) [][]storage.Word {
 	n := p.rel.Rows()
 	slots := make([][][]storage.Word, opt.Morsels(n))
 	pool := make([]*pipeWorker, opt.WorkerCount())
-	par.Run(n, opt, func(w, m, lo, hi int) {
-		ws := p.worker(pool, w)
-		var rows [][]storage.Word
-		ws.pipe.runRange(lo, hi, ws.regs, func(regs []storage.Word) {
-			rows = append(rows, ws.arena.Copy(regs))
+	if tr == nil {
+		par.Run(n, opt, func(w, m, lo, hi int) {
+			ws := p.worker(pool, w)
+			var rows [][]storage.Word
+			ws.pipe.runRange(lo, hi, ws.regs, func(regs []storage.Word) {
+				rows = append(rows, ws.arena.Copy(regs))
+			})
+			slots[m] = rows
 		})
-		slots[m] = rows
-	})
+	} else {
+		morsels, workers := opt.Morsels(n), opt.WorkerCount()
+		par.Run(n, opt, func(w, m, lo, hi int) {
+			ws := p.worker(pool, w)
+			var rows [][]storage.Word
+			cn := make([]int64, 2+len(p.stages))
+			start := time.Now()
+			ws.pipe.runRangeCount(lo, hi, ws.regs, cn, func(regs []storage.Word) {
+				rows = append(rows, ws.arena.Copy(regs))
+			})
+			nanos := time.Since(start).Nanoseconds()
+			slots[m] = rows
+			var stolen int64
+			if par.ExpectedWorker(m, morsels, workers) != w {
+				stolen = 1
+			}
+			p.flushCounts(tr, w, cn, nanos, 1, stolen)
+		})
+	}
 	total := 0
 	for _, s := range slots {
 		total += len(s)

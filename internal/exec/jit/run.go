@@ -1,11 +1,15 @@
 package jit
 
 import (
+	"fmt"
+	"time"
+
 	"repro/internal/exec"
 	"repro/internal/exec/par"
 	"repro/internal/exec/result"
 	"repro/internal/exec/sortpar"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -51,8 +55,10 @@ func (e Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
 // sinks. The service layer relies on this to run one cached Prepared for
 // many simultaneous requests.
 type Prepared struct {
-	cols []plan.Column
-	exec func() [][]storage.Word
+	cols    []plan.Column
+	exec    func(tr *obs.QueryTrace) [][]storage.Word
+	protos  []obs.OpProto
+	workers int
 }
 
 // Prepare compiles the plan against the catalog for serial execution.
@@ -63,65 +69,109 @@ func Prepare(n plan.Node, c *plan.Catalog) *Prepared {
 // PrepareOpt compiles the plan with the given parallelism options baked
 // into the executable form.
 func PrepareOpt(n plan.Node, c *plan.Catalog, opt par.Options) *Prepared {
+	workers := opt.WorkerCount()
+	tb := &traceBuild{}
 	if ins, ok := n.(plan.Insert); ok {
+		idx := tb.add("insert", "table="+ins.Table, 0)
 		return &Prepared{
-			cols: plan.Output(n, c),
-			exec: func() [][]storage.Word { return exec.RunInsert(ins, c).Rows },
+			cols:    plan.Output(n, c),
+			protos:  tb.protos,
+			workers: workers,
+			exec: func(tr *obs.QueryTrace) [][]storage.Word {
+				if tr == nil {
+					return exec.RunInsert(ins, c).Rows
+				}
+				start := time.Now()
+				rows := exec.RunInsert(ins, c).Rows
+				tr.Op(idx).Add(int64(len(ins.Rows)), int64(len(rows)), time.Since(start).Nanoseconds())
+				return rows
+			},
 		}
 	}
-	return &Prepared{cols: plan.Output(n, c), exec: prepareNode(n, c, opt)}
+	ex := prepareNode(n, c, opt, tb, 0)
+	return &Prepared{cols: plan.Output(n, c), exec: ex, protos: tb.protos, workers: workers}
 }
 
-// Exec runs the compiled query.
-func (p *Prepared) Exec() *result.Set {
+// Exec runs the compiled query with tracing disarmed.
+func (p *Prepared) Exec() *result.Set { return p.ExecTraced(nil) }
+
+// ExecTraced runs the compiled query, threading tr (from NewTrace) through
+// every operator. A nil trace takes the untouched hot loops.
+func (p *Prepared) ExecTraced(tr *obs.QueryTrace) *result.Set {
 	out := result.New(p.cols)
-	out.Rows = p.exec()
+	out.Rows = p.exec(tr)
 	return out
 }
 
+// NewTrace instantiates a trace shaped for this compiled plan: one
+// accumulator per operator in plan pre-order, lanes sized for the compiled
+// worker count. Each trace accounts one ExecTraced call; traces are not
+// reusable across executions.
+func (p *Prepared) NewTrace() *obs.QueryTrace {
+	return obs.NewTrace(p.protos, p.workers)
+}
+
 // prepareNode compiles a plan subtree into an executable closure. Pipeline
-// breakers (aggregate, sort, limit) sit between compiled pipelines.
-func prepareNode(n plan.Node, c *plan.Catalog, opt par.Options) func() [][]storage.Word {
+// breakers (aggregate, sort, limit) sit between compiled pipelines. tb
+// collects operator descriptors in plan pre-order; depth is the subtree's
+// depth in the rendered trace.
+func prepareNode(n plan.Node, c *plan.Catalog, opt par.Options, tb *traceBuild, depth int) func(*obs.QueryTrace) [][]storage.Word {
 	switch v := n.(type) {
 	case plan.Sort:
-		child := prepareNode(v.Child, c, opt)
-		return func() [][]storage.Word {
-			rows := child()
+		idx := tb.add("sort", fmt.Sprintf("keys=%d", len(v.Keys)), depth)
+		child := prepareNode(v.Child, c, opt, tb, depth+1)
+		return func(tr *obs.QueryTrace) [][]storage.Word {
+			rows := child(tr)
+			if tr == nil {
+				sortpar.Sort(rows, v.Keys, opt)
+				return rows
+			}
+			start := time.Now()
 			sortpar.Sort(rows, v.Keys, opt)
+			tr.Op(idx).Add(int64(len(rows)), int64(len(rows)), time.Since(start).Nanoseconds())
 			return rows
 		}
 	case plan.Limit:
 		// ORDER BY … LIMIT k fuses into a bounded top-N: no execution ever
 		// materializes more than k sorted rows per worker before the merge.
 		if srt, ok := v.Child.(plan.Sort); ok {
-			return prepareTopN(srt, v.N, c, opt)
+			return prepareTopN(srt, v.N, c, opt, tb, depth)
 		}
-		child := prepareNode(v.Child, c, opt)
-		return func() [][]storage.Word {
-			rows := child()
+		idx := tb.add("limit", fmt.Sprintf("n=%d", v.N), depth)
+		child := prepareNode(v.Child, c, opt, tb, depth+1)
+		return func(tr *obs.QueryTrace) [][]storage.Word {
+			rows := child(tr)
+			in := int64(len(rows))
 			if len(rows) > v.N {
 				rows = rows[:v.N]
 			}
+			tr.Op(idx).Add(in, int64(len(rows)), 0)
 			return rows
 		}
 	case plan.Aggregate:
-		p := compilePipe(v.Child, c, opt)
-		return func() [][]storage.Word {
-			if rows, ok := fastScanAggregate(p, v, opt); ok {
+		idx := tb.add("group-by", fmt.Sprintf("groupBy=%d aggs=%d", len(v.GroupBy), len(v.Aggs)), depth)
+		p := compilePipe(v.Child, c, opt, tb, depth+1)
+		return func(tr *obs.QueryTrace) [][]storage.Word {
+			if rows, ok := fastScanAggregate(p, v, opt, tr, idx); ok {
 				return rows
 			}
-			return genericAggregate(p, v, opt)
+			return genericAggregate(p, v, opt, tr, idx)
 		}
 	default:
-		p := compilePipe(n, c, opt)
-		return func() [][]storage.Word {
+		p := compilePipe(n, c, opt, tb, depth)
+		return func(tr *obs.QueryTrace) [][]storage.Word {
 			if p.parallelizable(opt) {
-				return p.runParallelRows(opt)
+				return p.runParallelRows(opt, tr)
 			}
 			// Serial execution mutates stage buffers and the index-lookup
 			// scratch, so concurrent Execs each run a private clone.
 			r := &runner{}
-			p.cloneForWorker().run(r.emitRow)
+			q := p.cloneForWorker()
+			if tr == nil {
+				q.run(r.emitRow)
+			} else {
+				q.runTraced(tr, r.emitRow)
+			}
 			return r.rows
 		}
 	}

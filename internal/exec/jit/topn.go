@@ -1,8 +1,13 @@
 package jit
 
 import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
 	"repro/internal/exec/par"
 	"repro/internal/exec/sortpar"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -14,40 +19,75 @@ import (
 // top-N queries. The merged result is bit-identical to stable-sort-then-
 // truncate: heaps break key ties by emission ordinal (morsel, seq), the
 // serial emission order under the scheduler's determinism contract.
-func prepareTopN(srt plan.Sort, k int, c *plan.Catalog, opt par.Options) func() [][]storage.Word {
+func prepareTopN(srt plan.Sort, k int, c *plan.Catalog, opt par.Options, tb *traceBuild, depth int) func(*obs.QueryTrace) [][]storage.Word {
+	idx := tb.add("top-n", fmt.Sprintf("k=%d keys=%d", k, len(srt.Keys)), depth)
 	switch srt.Child.(type) {
 	case plan.Aggregate, plan.Sort, plan.Limit, plan.Insert:
 		// The sort child is itself a breaker: its output is already
 		// materialized, so the heap only bounds the sorted copy.
-		child := prepareNode(srt.Child, c, opt)
-		return func() [][]storage.Word {
-			return topNRows(child(), srt.Keys, k)
+		child := prepareNode(srt.Child, c, opt, tb, depth+1)
+		return func(tr *obs.QueryTrace) [][]storage.Word {
+			rows := child(tr)
+			if tr == nil {
+				return topNRows(rows, srt.Keys, k)
+			}
+			start := time.Now()
+			out := topNRows(rows, srt.Keys, k)
+			tr.Op(idx).Add(int64(len(rows)), int64(len(out)), time.Since(start).Nanoseconds())
+			return out
 		}
 	}
-	p := compilePipe(srt.Child, c, opt)
-	return func() [][]storage.Word {
+	p := compilePipe(srt.Child, c, opt, tb, depth+1)
+	return func(tr *obs.QueryTrace) [][]storage.Word {
 		if p.parallelizable(opt) {
-			return p.runParallelTopN(srt.Keys, k, opt)
+			return p.runParallelTopN(srt.Keys, k, opt, tr, idx)
 		}
 		t := sortpar.NewTopN(srt.Keys, k)
 		seq := 0
-		// Serial execution mutates stage buffers and the index-lookup
-		// scratch, so concurrent Execs each run a private clone.
-		p.cloneForWorker().run(func(regs []storage.Word) {
+		offer := func(regs []storage.Word) {
 			t.Offer(regs, 0, seq)
 			seq++
-		})
-		return sortpar.MergeTopN([]*sortpar.TopN{t}, srt.Keys, k)
+		}
+		// Serial execution mutates stage buffers and the index-lookup
+		// scratch, so concurrent Execs each run a private clone.
+		q := p.cloneForWorker()
+		if tr == nil {
+			q.run(offer)
+			return sortpar.MergeTopN([]*sortpar.TopN{t}, srt.Keys, k)
+		}
+		start := time.Now()
+		q.runTraced(tr, offer)
+		out := sortpar.MergeTopN([]*sortpar.TopN{t}, srt.Keys, k)
+		tr.Op(idx).Add(int64(seq), int64(len(out)), time.Since(start).Nanoseconds())
+		return out
 	}
 }
 
 // runParallelTopN drives the pipe with the morsel scheduler, each worker
 // feeding a private bounded heap; candidates merge into the exact first k
 // rows of the serial stable sort.
-func (p *pipe) runParallelTopN(keys []plan.SortKey, k int, opt par.Options) [][]storage.Word {
+func (p *pipe) runParallelTopN(keys []plan.SortKey, k int, opt par.Options, tr *obs.QueryTrace, topIdx int) [][]storage.Word {
 	n := p.rel.Rows()
 	pool := make([]*pipeWorker, opt.WorkerCount())
 	tops := make([]*sortpar.TopN, opt.WorkerCount())
+	if tr == nil {
+		par.Run(n, opt, func(w, m, lo, hi int) {
+			ws := p.worker(pool, w)
+			if tops[w] == nil {
+				tops[w] = sortpar.NewTopN(keys, k)
+			}
+			t := tops[w]
+			seq := 0
+			ws.pipe.runRange(lo, hi, ws.regs, func(regs []storage.Word) {
+				t.Offer(regs, m, seq)
+				seq++
+			})
+		})
+		return sortpar.MergeTopN(tops, keys, k)
+	}
+	morsels, workers := opt.Morsels(n), opt.WorkerCount()
+	var offered atomic.Int64
+	allStart := time.Now()
 	par.Run(n, opt, func(w, m, lo, hi int) {
 		ws := p.worker(pool, w)
 		if tops[w] == nil {
@@ -55,12 +95,23 @@ func (p *pipe) runParallelTopN(keys []plan.SortKey, k int, opt par.Options) [][]
 		}
 		t := tops[w]
 		seq := 0
-		ws.pipe.runRange(lo, hi, ws.regs, func(regs []storage.Word) {
+		cn := make([]int64, 2+len(p.stages))
+		start := time.Now()
+		ws.pipe.runRangeCount(lo, hi, ws.regs, cn, func(regs []storage.Word) {
 			t.Offer(regs, m, seq)
 			seq++
 		})
+		nanos := time.Since(start).Nanoseconds()
+		var stolen int64
+		if par.ExpectedWorker(m, morsels, workers) != w {
+			stolen = 1
+		}
+		p.flushCounts(tr, w, cn, nanos, 1, stolen)
+		offered.Add(int64(seq))
 	})
-	return sortpar.MergeTopN(tops, keys, k)
+	out := sortpar.MergeTopN(tops, keys, k)
+	tr.Op(topIdx).Add(offered.Load(), int64(len(out)), time.Since(allStart).Nanoseconds())
+	return out
 }
 
 // topNRows bounds already-materialized rows through a single heap.

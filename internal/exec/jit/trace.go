@@ -1,0 +1,205 @@
+package jit
+
+import (
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Tracing in the jit engine is a compiled specialization, not an
+// instrumented hot loop: the fused loops in run.go stay untouched, and an
+// armed trace (tr != nil) routes execution through the counting variants
+// below instead. The disarmed path therefore executes exactly the
+// instructions it executed before tracing existed — one nil check per
+// pipeline or breaker, never per row — which is what keeps the disarmed
+// overhead on the serving benchmark under the 2% budget.
+//
+// Counts layout for one pipe: cn[0] = rows scanned (source input),
+// cn[1] = rows surviving the fused source filter, cn[2+i] = rows leaving
+// stage i. An operator's input is its predecessor's output, so the chain
+// reconstructs per-operator rows in/out exactly. Wall time is measured
+// per morsel around the fused loop and attributed to every operator fused
+// into it (the paper's point is precisely that these operators share one
+// loop; their time is not separable and the trace does not pretend it is).
+
+// traceBuild collects operator descriptors during compilation, in plan
+// pre-order (parents before children).
+type traceBuild struct {
+	protos []obs.OpProto
+}
+
+func (tb *traceBuild) add(op, detail string, depth int) int {
+	tb.protos = append(tb.protos, obs.OpProto{Op: op, Detail: detail, Depth: depth})
+	return len(tb.protos) - 1
+}
+
+// setStatic records prepare-time measurements (the hash-join build side
+// executes at compile time) on an already-added descriptor.
+func (tb *traceBuild) setStatic(i int, rowsIn, rowsOut, nanos int64) {
+	p := &tb.protos[i]
+	p.Static, p.RowsIn, p.RowsOut, p.Nanos = true, rowsIn, rowsOut, nanos
+}
+
+// emittedOf returns the pipe's emitted-row count from a counts slice.
+func emittedOf(cn []int64, stages int) int64 {
+	if stages == 0 {
+		return cn[1]
+	}
+	return cn[2+stages-1]
+}
+
+// flushCounts folds one morsel's (or one serial run's) counts into the
+// trace: totals via atomics, the claiming worker's lane directly (lane w
+// is only ever written by worker w).
+func (p *pipe) flushCounts(tr *obs.QueryTrace, worker int, cn []int64, nanos, morsels, stolen int64) {
+	src := tr.Op(p.srcOp)
+	src.Add(cn[0], cn[1], nanos)
+	if l := src.Lane(worker); l != nil {
+		l.Rows += cn[1]
+		l.Nanos += nanos
+		l.Morsels += morsels
+		l.Stolen += stolen
+	}
+	in := cn[1]
+	for i := range p.stages {
+		op := tr.Op(p.stages[i].opIdx)
+		op.Add(in, cn[2+i], nanos)
+		if l := op.Lane(worker); l != nil {
+			l.Rows += cn[2+i]
+			l.Nanos += nanos
+			l.Morsels += morsels
+			l.Stolen += stolen
+		}
+		in = cn[2+i]
+	}
+}
+
+// runTraced drives the pipe serially through the counting loops and
+// flushes the counts as worker 0. It returns the emitted-row count.
+func (p *pipe) runTraced(tr *obs.QueryTrace, emit func([]storage.Word)) int64 {
+	cn := make([]int64, 2+len(p.stages))
+	start := time.Now()
+	if p.useIndex {
+		p.runIndexCount(cn, emit)
+	} else {
+		p.runRangeCount(0, p.rel.Rows(), make([]storage.Word, p.srcWidth), cn, emit)
+	}
+	p.flushCounts(tr, 0, cn, time.Since(start).Nanoseconds(), 1, 0)
+	return emittedOf(cn, len(p.stages))
+}
+
+// runRangeCount is runRange with per-operator counting.
+func (p *pipe) runRangeCount(lo, hi int, regs []storage.Word, cn []int64, emit func([]storage.Word)) {
+	cn[0] += int64(hi - lo)
+	var complexRow int
+	complexFn := func(a int) storage.Word { return p.rel.Value(complexRow, a) }
+rows:
+	for row := lo; row < hi; row++ {
+		for i := range p.baseTests {
+			t := &p.baseTests[i]
+			if !passTest(t, t.data[row*t.stride+t.off]) {
+				continue rows
+			}
+		}
+		if p.complex != nil {
+			complexRow = row
+			if !expr.EvalPred(p.complex, complexFn) {
+				continue rows
+			}
+		}
+		for i := range p.loads {
+			l := &p.loads[i]
+			regs[l.reg] = l.data[row*l.stride+l.off]
+		}
+		cn[1]++
+		p.pushStagesCount(0, regs, cn, emit)
+	}
+}
+
+// runIndexCount is the index-backed source loop of run with counting.
+func (p *pipe) runIndexCount(cn []int64, emit func([]storage.Word)) {
+	regs := make([]storage.Word, p.srcWidth)
+	var complexRow int
+	complexFn := func(a int) storage.Word { return p.rel.Value(complexRow, a) }
+	p.indexRows = p.idx.Lookup(p.key, p.indexRows[:0])
+	cn[0] += int64(len(p.indexRows))
+rows:
+	for _, r := range p.indexRows {
+		row := int(r)
+		for i := range p.baseTests {
+			t := &p.baseTests[i]
+			if !passTest(t, t.data[row*t.stride+t.off]) {
+				continue rows
+			}
+		}
+		if p.complex != nil {
+			complexRow = row
+			if !expr.EvalPred(p.complex, complexFn) {
+				continue rows
+			}
+		}
+		for i := range p.loads {
+			l := &p.loads[i]
+			regs[l.reg] = l.data[row*l.stride+l.off]
+		}
+		cn[1]++
+		p.pushStagesCount(0, regs, cn, emit)
+	}
+}
+
+// pushStagesCount is pushStages with per-stage survivor counting.
+func (p *pipe) pushStagesCount(si int, regs []storage.Word, cn []int64, emit func([]storage.Word)) {
+	for ; si < len(p.stages); si++ {
+		st := &p.stages[si]
+		switch st.kind {
+		case stFilter:
+			for i := range st.tests {
+				t := &st.tests[i]
+				if !passTest(t, regs[t.pos]) {
+					return
+				}
+			}
+			if st.complex != nil {
+				if !expr.EvalPred(st.complex, func(a int) storage.Word { return regs[a] }) {
+					return
+				}
+			}
+			cn[2+si]++
+		case stMap:
+			buf := st.buf
+			for i := range st.maps {
+				m := &st.maps[i]
+				if m.isMove {
+					buf[i] = regs[m.srcReg]
+				} else {
+					buf[i] = expr.EvalExpr(m.e, func(a int) storage.Word { return regs[a] })
+				}
+			}
+			regs = buf
+			cn[2+si]++
+		case stProbe:
+			matches, build := st.jt.Lookup(regs[st.keyReg])
+			if len(matches) == 0 {
+				return
+			}
+			w := st.addWidth
+			buf := st.buf
+			copy(buf[w:], regs)
+			if len(matches) == 1 {
+				copy(buf[:w], build[int(matches[0])*w:])
+				regs = buf
+				cn[2+si]++
+				continue
+			}
+			for _, m := range matches {
+				copy(buf[:w], build[int(m)*w:])
+				cn[2+si]++
+				p.pushStagesCount(si+1, buf, cn, emit)
+			}
+			return
+		}
+	}
+	emit(regs)
+}

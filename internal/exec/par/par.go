@@ -75,6 +75,24 @@ func (o Options) Morsels(n int) int {
 	return (n + m - 1) / m
 }
 
+// ExpectedWorker returns the worker a static block partitioning of
+// morsels across workers would assign morsel m to — the reference
+// assignment the tracing layer compares claims against: a morsel claimed
+// by a different worker than its static owner counts as stolen. The
+// scheduler itself never consults this; stealing is implicit in the
+// shared cursor.
+func ExpectedWorker(morsel, morsels, workers int) int {
+	if workers <= 1 || morsels <= 0 {
+		return 0
+	}
+	per := (morsels + workers - 1) / workers
+	w := morsel / per
+	if w >= workers {
+		w = workers - 1
+	}
+	return w
+}
+
 // Run partitions [0, n) into morsels and processes them with a worker
 // pool. body is called once per morsel with the claiming worker's id
 // (0 <= worker < WorkerCount), the morsel's index in row order, and the

@@ -3,6 +3,8 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool is a process-wide morsel scheduler shared by concurrent queries.
@@ -30,8 +32,18 @@ type Pool struct {
 	jobs []*job // jobs with unclaimed morsels, in submission order
 	rr   int    // round-robin cursor over jobs
 
+	// busy accumulates per-worker nanoseconds spent inside morsel bodies
+	// — the utilization signal /metrics exposes. Padded so neighboring
+	// workers' counters never share a cache line.
+	busy []paddedNanos
+
 	closed bool
 	wg     sync.WaitGroup
+}
+
+type paddedNanos struct {
+	v atomic.Int64
+	_ [7]int64
 }
 
 // job is one Run call executing on a pool: a morsel range plus completion
@@ -56,7 +68,7 @@ func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: n}
+	p := &Pool{workers: n, busy: make([]paddedNanos, n)}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(n)
 	for w := 0; w < n; w++ {
@@ -68,6 +80,17 @@ func NewPool(n int) *Pool {
 // Workers returns the pool's worker count. Worker ids passed to job bodies
 // are in [0, Workers()).
 func (p *Pool) Workers() int { return p.workers }
+
+// BusyNanos snapshots the per-worker busy time: nanoseconds each worker
+// has spent executing morsel bodies since the pool started. Combined
+// with wall time, the deltas give pool utilization.
+func (p *Pool) BusyNanos() []int64 {
+	out := make([]int64, len(p.busy))
+	for i := range p.busy {
+		out[i] = p.busy[i].v.Load()
+	}
+	return out
+}
 
 // Close drains the remaining jobs and stops the workers. Run calls racing
 // with (or after) Close fall back to inline serial execution, so shutdown
@@ -113,7 +136,9 @@ func (p *Pool) work(id int) {
 // runMorsel executes one claimed morsel and settles the job's completion
 // accounting, capturing the first panic for re-raising on the submitter.
 func (p *Pool) runMorsel(j *job, worker, m int) {
+	start := time.Now()
 	defer func() {
+		p.busy[worker].v.Add(time.Since(start).Nanoseconds())
 		if r := recover(); r != nil {
 			j.panicOnce.Do(func() { j.panicked = r })
 		}

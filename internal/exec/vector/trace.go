@@ -1,0 +1,172 @@
+package vector
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/exec/par"
+	"repro/internal/exec/result"
+	"repro/internal/exec/sortpar"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// The vector engine's trace is a decorator tree: RunTraced builds the same
+// iterators as Run and interposes a tracedIt per streaming operator, so the
+// disarmed Run path constructs exactly what it constructed before. Iterator
+// time is inclusive — a decorator measures its child's next() inside its
+// own — mirroring how the jit trace attributes a fused loop's time to every
+// operator in it. Eager breakers (join build, group-by, sort, top-N) do all
+// their work in the constructor; their op records that construction drain,
+// and only a rows-in feed wraps the materialized stream they serve from.
+
+// RunTraced executes the plan like Run while accounting every operator in
+// the returned trace.
+func (e Engine) RunTraced(n plan.Node, c *plan.Catalog) (*result.Set, *obs.QueryTrace) {
+	tr := obs.NewTrace(nil, e.opt.WorkerCount())
+	if ins, ok := n.(plan.Insert); ok {
+		op := tr.AddOp(obs.OpProto{Op: "insert", Detail: "table=" + ins.Table})
+		start := time.Now()
+		res := exec.RunInsert(ins, c)
+		op.Add(int64(len(ins.Rows)), int64(res.Len()), time.Since(start).Nanoseconds())
+		return res, tr
+	}
+	out := result.New(plan.Output(n, c))
+	it := buildTraced(n, c, e.opt, tr, nil, 0)
+	for {
+		b, ok := it.next()
+		if !ok {
+			break
+		}
+		for r := 0; r < b.n; r++ {
+			row := out.NewRow()
+			for i, col := range b.cols {
+				row[i] = col[r]
+			}
+		}
+	}
+	return out, tr
+}
+
+// tracedIt decorates one streaming iterator: op accumulates the decorated
+// operator's output rows and inclusive next() time, parent (the consuming
+// operator) its input rows. Either may be nil.
+type tracedIt struct {
+	child  biter
+	op     *obs.OpTrace
+	parent *obs.OpTrace
+}
+
+func (t *tracedIt) next() (batch, bool) {
+	start := time.Now()
+	b, ok := t.child.next()
+	t.op.Add(0, int64(b.n), time.Since(start).Nanoseconds())
+	if ok {
+		t.parent.Add(int64(b.n), 0, 0)
+	}
+	return b, ok
+}
+
+// buildTraced mirrors build, registering ops in plan pre-order. parent is
+// the consuming operator's accumulator (nil at the root).
+func buildTraced(n plan.Node, c *plan.Catalog, opt par.Options, tr *obs.QueryTrace, parent *obs.OpTrace, depth int) biter {
+	switch v := n.(type) {
+	case plan.Scan:
+		if acc, ok := exec.PlanIndexAccess(c, v.Table, v.Filter); ok {
+			op := tr.AddOp(obs.OpProto{Op: "scan", Detail: "table=" + v.Table + " index", Depth: depth})
+			rel := c.Table(v.Table)
+			rows := c.Index(v.Table, acc.Attr).Lookup(acc.Key, nil)
+			op.Add(int64(len(rows)), 0, 0)
+			it := &indexScan{rel: rel, rows: rows, rest: acc.Rest, cols: v.Cols}
+			return &tracedIt{child: it, op: op, parent: parent}
+		}
+		op := tr.AddOp(obs.OpProto{Op: "scan", Detail: "table=" + v.Table, Depth: depth})
+		rel := c.Table(v.Table)
+		op.Add(int64(rel.Rows()), 0, 0)
+		if opt.Parallel() {
+			// The parallel scan materializes in its constructor; its per-
+			// worker lanes are filled there and the serve loop is charged
+			// through the decorator like any other iterator.
+			start := time.Now()
+			it := newParScanTraced(rel, v.Filter, v.Cols, opt, op)
+			op.Add(0, 0, time.Since(start).Nanoseconds())
+			return &tracedIt{child: it, op: op, parent: parent}
+		}
+		return &tracedIt{child: newScan(rel, v.Filter, v.Cols), op: op, parent: parent}
+
+	case plan.Select:
+		op := tr.AddOp(obs.OpProto{Op: "select", Depth: depth})
+		child := buildTraced(v.Child, c, opt, tr, op, depth+1)
+		return &tracedIt{child: &selectIt{child: child, pred: v.Pred}, op: op, parent: parent}
+
+	case plan.Project:
+		op := tr.AddOp(obs.OpProto{Op: "project", Detail: fmt.Sprintf("exprs=%d", len(v.Exprs)), Depth: depth})
+		child := buildTraced(v.Child, c, opt, tr, op, depth+1)
+		return &tracedIt{child: &projectIt{child: child, exprs: v.Exprs}, op: op, parent: parent}
+
+	case plan.HashJoin:
+		probeOp := tr.AddOp(obs.OpProto{Op: "join-probe", Depth: depth})
+		buildOp := tr.AddOp(obs.OpProto{Op: "join-build", Depth: depth + 1})
+		left := buildTraced(v.Left, c, opt, tr, buildOp, depth+2)
+		leftWidth := len(plan.Output(v.Left, c))
+		start := time.Now()
+		jt, _ := buildSide(left, leftWidth, v.LeftKey, opt)
+		var built int64
+		if leftWidth > 0 {
+			built = int64(jt.Rows())
+		}
+		buildOp.Add(0, built, time.Since(start).Nanoseconds())
+		right := buildTraced(v.Right, c, opt, tr, probeOp, depth+1)
+		j := &joinIt{
+			right:      right,
+			jt:         jt,
+			rkey:       v.RightKey,
+			leftWidth:  leftWidth,
+			rightWidth: len(plan.Output(v.Right, c)),
+		}
+		return &tracedIt{child: j, op: probeOp, parent: parent}
+
+	case plan.Aggregate:
+		op := tr.AddOp(obs.OpProto{
+			Op:     "group-by",
+			Detail: fmt.Sprintf("groupBy=%d aggs=%d", len(v.GroupBy), len(v.Aggs)),
+			Depth:  depth,
+		})
+		child := buildTraced(v.Child, c, opt, tr, op, depth+1)
+		start := time.Now()
+		it := newAggFrom(child, v)
+		op.Add(0, int64(len(it.rows)), time.Since(start).Nanoseconds())
+		return &tracedIt{child: it, parent: parent}
+
+	case plan.Sort:
+		op := tr.AddOp(obs.OpProto{Op: "sort", Detail: fmt.Sprintf("keys=%d", len(v.Keys)), Depth: depth})
+		child := buildTraced(v.Child, c, opt, tr, op, depth+1)
+		start := time.Now()
+		it := newMaterialized(child, func(rows [][]storage.Word) [][]storage.Word {
+			sortpar.Sort(rows, v.Keys, opt)
+			return rows
+		})
+		op.Add(0, int64(len(it.rows)), time.Since(start).Nanoseconds())
+		return &tracedIt{child: it, parent: parent}
+
+	case plan.Limit:
+		if srt, ok := v.Child.(plan.Sort); ok {
+			op := tr.AddOp(obs.OpProto{
+				Op:     "top-n",
+				Detail: fmt.Sprintf("k=%d keys=%d", v.N, len(srt.Keys)),
+				Depth:  depth,
+			})
+			child := buildTraced(srt.Child, c, opt, tr, op, depth+1)
+			start := time.Now()
+			it := newTopN(child, srt.Keys, v.N)
+			op.Add(0, int64(len(it.rows)), time.Since(start).Nanoseconds())
+			return &tracedIt{child: it, parent: parent}
+		}
+		op := tr.AddOp(obs.OpProto{Op: "limit", Detail: fmt.Sprintf("n=%d", v.N), Depth: depth})
+		child := buildTraced(v.Child, c, opt, tr, op, depth+1)
+		return &tracedIt{child: &limitIt{child: child, n: v.N}, op: op, parent: parent}
+	}
+	panic("vector: unsupported plan node")
+}

@@ -101,15 +101,15 @@ func build(n plan.Node, c *plan.Catalog, opt par.Options) biter {
 	case plan.Aggregate:
 		return newAgg(v, c, opt)
 	case plan.Sort:
-		return newMaterialized(n, c, func(rows [][]storage.Word) [][]storage.Word {
+		return newMaterialized(build(v.Child, c, opt), func(rows [][]storage.Word) [][]storage.Word {
 			sortpar.Sort(rows, v.Keys, opt)
 			return rows
-		}, v.Child, opt)
+		})
 	case plan.Limit:
 		// ORDER BY … LIMIT k fuses into a bounded top-N heap: the sort
 		// retains at most k rows instead of materializing the child.
 		if srt, ok := v.Child.(plan.Sort); ok {
-			return newTopN(srt, v.N, c, opt)
+			return newTopN(build(srt.Child, c, opt), srt.Keys, v.N)
 		}
 		return &limitIt{child: build(v.Child, c, opt), n: v.N}
 	}
@@ -347,10 +347,20 @@ type joinIt struct {
 }
 
 func newJoin(v plan.HashJoin, c *plan.Catalog, opt par.Options) *joinIt {
-	leftIt := build(v.Left, c, opt)
-	leftWidth := len(plan.Output(v.Left, c))
-	// Batches append straight into the flat row-major form BuildFlat
-	// consumes: serial builds adopt the buffer without another copy.
+	jt, leftWidth := buildSide(build(v.Left, c, opt), len(plan.Output(v.Left, c)), v.LeftKey, opt)
+	return &joinIt{
+		right:      build(v.Right, c, opt),
+		jt:         jt,
+		rkey:       v.RightKey,
+		leftWidth:  leftWidth,
+		rightWidth: len(plan.Output(v.Right, c)),
+	}
+}
+
+// buildSide drains the build child into the flat row-major form BuildFlat
+// consumes (serial builds adopt the buffer without another copy) and
+// returns the probe table plus the number of build rows.
+func buildSide(leftIt biter, leftWidth, leftKey int, opt par.Options) (*joinpar.Table, int) {
 	var flat []storage.Word
 	for {
 		b, ok := leftIt.next()
@@ -363,13 +373,7 @@ func newJoin(v plan.HashJoin, c *plan.Catalog, opt par.Options) *joinIt {
 			}
 		}
 	}
-	return &joinIt{
-		right:      build(v.Right, c, opt),
-		jt:         joinpar.BuildFlat(flat, v.LeftKey, leftWidth, opt),
-		rkey:       v.RightKey,
-		leftWidth:  leftWidth,
-		rightWidth: len(plan.Output(v.Right, c)),
-	}
+	return joinpar.BuildFlat(flat, leftKey, leftWidth, opt), leftWidth
 }
 
 func (j *joinIt) next() (batch, bool) {
@@ -412,7 +416,10 @@ type aggIt struct {
 }
 
 func newAgg(v plan.Aggregate, c *plan.Catalog, opt par.Options) *aggIt {
-	child := build(v.Child, c, opt)
+	return newAggFrom(build(v.Child, c, opt), v)
+}
+
+func newAggFrom(child biter, v plan.Aggregate) *aggIt {
 	type group struct {
 		key    []storage.Word
 		states []expr.AggState
@@ -494,8 +501,7 @@ type materializedIt struct {
 	pos  int
 }
 
-func newMaterialized(n plan.Node, c *plan.Catalog, transform func([][]storage.Word) [][]storage.Word, child plan.Node, opt par.Options) *materializedIt {
-	it := build(child, c, opt)
+func newMaterialized(it biter, transform func([][]storage.Word) [][]storage.Word) *materializedIt {
 	var rows [][]storage.Word
 	var arena result.Arena
 	for {
@@ -540,9 +546,8 @@ func (m *materializedIt) next() (batch, bool) {
 // enter the retained set), so a top-N query materializes O(k) sorted rows
 // instead of the child's full output. The emitted rows are bit-identical
 // to stable-sort-then-truncate: ties break by stream position.
-func newTopN(v plan.Sort, k int, c *plan.Catalog, opt par.Options) *materializedIt {
-	it := build(v.Child, c, opt)
-	t := sortpar.NewTopN(v.Keys, k)
+func newTopN(it biter, keys []plan.SortKey, k int) *materializedIt {
+	t := sortpar.NewTopN(keys, k)
 	var row []storage.Word
 	seq := 0
 	for {
@@ -559,7 +564,7 @@ func newTopN(v plan.Sort, k int, c *plan.Catalog, opt par.Options) *materialized
 			seq++
 		}
 	}
-	return &materializedIt{rows: sortpar.MergeTopN([]*sortpar.TopN{t}, v.Keys, k)}
+	return &materializedIt{rows: sortpar.MergeTopN([]*sortpar.TopN{t}, keys, k)}
 }
 
 // limitIt truncates the stream.

@@ -141,6 +141,7 @@ func ByID(id string) func(Options) *Report {
 		"ingest":          Ingest,
 		"breakers":        Breakers,
 		"repl":            Repl,
+		"obs":             Obs,
 	}
 	return m[id]
 }
@@ -149,7 +150,7 @@ func ByID(id string) func(Options) *Report {
 func IDs() []string {
 	ids := []string{
 		"fig3", "fig6", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5",
-		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest", "breakers", "repl",
+		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest", "breakers", "repl", "obs",
 	}
 	sort.Strings(ids)
 	return ids

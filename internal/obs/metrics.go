@@ -1,0 +1,111 @@
+// Package obs is the observability core of the serving stack: a
+// dependency-free metrics library (atomic counters, gauges and
+// fixed-bucket latency histograms with a lock-free Observe, exposed in
+// Prometheus text format) plus the per-query execution trace that the
+// engines fill in when a query runs under EXPLAIN ANALYZE.
+//
+// The package sits below every other subsystem — service, persist, repl
+// and the execution engines all import it — so it imports nothing of the
+// repository and nothing beyond the standard library.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default latency buckets in seconds, spanning 100µs
+// (a cached point query) to 10s (a full-table sort under load).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with a lock-free Observe: bucket
+// counts are atomic adds, the running sum is a CAS loop over the float64
+// bit pattern. Bucket bounds are upper bounds (Prometheus "le"
+// semantics); an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil means DefBuckets). Registry.Histogram is the usual constructor.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. Safe for concurrent use; no locks taken.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the bucket (le semantics); misses land on +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with bounds plus the
+// +Inf total, taken bucket-by-bucket (the exposition does not need a
+// consistent cut — Prometheus scrapes tolerate per-bucket skew).
+func (h *Histogram) snapshot() (bounds []float64, cumulative []int64, count int64, sum float64) {
+	cumulative = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return h.bounds, cumulative, h.count.Load(), h.Sum()
+}

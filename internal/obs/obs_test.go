@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge reads %v", g.Value())
+	}
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	bounds, cum, count, sum := h.snapshot()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// le semantics: 0.01 lands in the first bucket.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-5.561) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.561", sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("count = %d, want %d", got, workers*each)
+	}
+	if got, want := h.Sum(), float64(workers*each)*0.001; math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("db_queries_total", "queries served", Labels{"outcome": "ok"}).Add(3)
+	r.Counter("db_queries_total", "queries served", Labels{"outcome": "error"}).Add(1)
+	r.GaugeFunc("db_inflight_queries", "currently executing", nil, func() float64 { return 2 })
+	h := r.Histogram("db_query_latency_seconds", "end-to-end latency", []float64{0.01, 0.1}, nil)
+	h.Observe(0.005)
+	h.Observe(0.05)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP db_queries_total queries served\n",
+		"# TYPE db_queries_total counter\n",
+		`db_queries_total{outcome="ok"} 3`,
+		`db_queries_total{outcome="error"} 1`,
+		"# TYPE db_inflight_queries gauge\n",
+		"db_inflight_queries 2",
+		"# TYPE db_query_latency_seconds histogram\n",
+		`db_query_latency_seconds_bucket{le="0.01"} 1`,
+		`db_query_latency_seconds_bucket{le="0.1"} 2`,
+		`db_query_latency_seconds_bucket{le="+Inf"} 2`,
+		"db_query_latency_seconds_sum 0.055",
+		"db_query_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same (name, labels) re-registration returns the same collector.
+	if c := r.Counter("db_queries_total", "", Labels{"outcome": "ok"}); c.Value() != 3 {
+		t.Fatalf("re-registration returned a fresh counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := renderLabels(Labels{"a": `x"y\z` + "\n"}); got != `{a="x\"y\\z\n"}` {
+		t.Fatalf("renderLabels = %q", got)
+	}
+}
+
+func TestQueryTraceReport(t *testing.T) {
+	tr := NewTrace([]OpProto{
+		{Op: "group-by", Depth: 0},
+		{Op: "scan", Detail: "table=R", Depth: 1},
+		{Op: "join-build", Depth: 1, Static: true, RowsIn: 10, RowsOut: 10, Nanos: 123},
+	}, 2)
+	tr.Op(0).Add(5, 1, 1000)
+	tr.Op(1).Add(100, 5, 1000)
+	lane := tr.Op(1).Lane(1)
+	lane.Rows, lane.Nanos, lane.Morsels, lane.Stolen = 5, 900, 2, 1
+
+	rep := tr.Report()
+	if len(rep) != 3 {
+		t.Fatalf("report len = %d", len(rep))
+	}
+	if rep[0].Op != "group-by" || rep[0].RowsIn != 5 || rep[0].RowsOut != 1 {
+		t.Fatalf("op0 = %+v", rep[0])
+	}
+	if rep[1].RowsIn != 100 || len(rep[1].Workers) != 1 || rep[1].Workers[0].Worker != 1 ||
+		rep[1].Workers[0].Stolen != 1 {
+		t.Fatalf("op1 = %+v", rep[1])
+	}
+	if !rep[2].Static || rep[2].Nanos != 123 {
+		t.Fatalf("op2 = %+v", rep[2])
+	}
+
+	// nil-safety of the disarmed path
+	var nilTrace *QueryTrace
+	if nilTrace.Op(0) != nil || nilTrace.Report() != nil {
+		t.Fatal("nil trace must be inert")
+	}
+	nilTrace.Op(0).Add(1, 1, 1) // must not panic
+	if nilTrace.Op(0).Lane(0) != nil {
+		t.Fatal("nil op lane must be nil")
+	}
+}

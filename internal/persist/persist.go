@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -81,6 +82,23 @@ type Manager struct {
 
 	epoch       uint64 // current checkpoint epoch (snapshot and WAL agree)
 	checkpoints int64
+
+	// Metric hooks, nil until SetMetrics: fsync latency per group commit
+	// and total bytes appended (frames included). Kept as plain fields
+	// under mu — every reader already holds it.
+	fsyncHist   *obs.Histogram
+	walAppended *obs.Counter
+}
+
+// SetMetrics wires the durability metrics in: fsync gets one observation
+// per group commit (fsync mode only), walAppended every framed byte.
+// Either may be nil. The service layer calls this from AttachPersist,
+// before the manager starts committing for it.
+func (m *Manager) SetMetrics(fsync *obs.Histogram, walAppended *obs.Counter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fsyncHist = fsync
+	m.walAppended = walAppended
 }
 
 // Open recovers (or initializes) a database from the data directory and
@@ -244,6 +262,7 @@ func (m *Manager) commitLocked(body []byte) error {
 	if err := faultinject.Hit("persist/wal-commit"); err != nil {
 		return err
 	}
+	before := m.w.size
 	if !m.w.stamped {
 		if err := m.w.append(walEpochBody(m.epoch)); err != nil {
 			return err
@@ -253,8 +272,15 @@ func (m *Manager) commitLocked(body []byte) error {
 	if err := m.w.append(body); err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := m.w.commit(); err != nil {
 		return err
+	}
+	if m.fsyncHist != nil && m.fsync {
+		m.fsyncHist.ObserveSince(start)
+	}
+	if m.walAppended != nil {
+		m.walAppended.Add(m.w.size - before)
 	}
 	m.committed = m.w.size
 	m.records++

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -170,7 +170,7 @@ func (n *Node) Promote() (uint64, error) {
 	n.replica = nil
 	n.primary = NewPrimary(n.svc, mgr)
 	n.svc.SetReplicaState("")
-	log.Printf("repl: promoted to primary at term %d", term)
+	slog.Info("repl: promoted to primary", slog.Uint64("term", term))
 	return term, nil
 }
 
@@ -195,11 +195,11 @@ func (n *Node) Demote(primaryURL string, term uint64) error {
 		n.primary = nil
 		if m := n.svc.DetachPersist(); m != nil {
 			if err := m.Close(); err != nil {
-				log.Printf("repl: closing superseded WAL: %v", err)
+				slog.Warn("repl: closing superseded WAL failed", slog.Any("err", err))
 			}
 		}
 		n.cfg.Mgr = nil
-		log.Printf("repl: demoted at term %d, following %s", term, primaryURL)
+		slog.Info("repl: demoted", slog.Uint64("term", term), slog.String("primary", primaryURL))
 	} else {
 		n.stopReplicaLocked()
 		n.svc.AdoptTerm(term)

@@ -221,8 +221,12 @@ func (r *Replica) Drain(wait time.Duration) int {
 	return progressed
 }
 
-// poll issues one tail request and applies whatever it returns.
+// poll issues one tail request and applies whatever it returns. Each
+// round's wall time — long-poll wait included — feeds the service's
+// db_repl_poll_seconds histogram.
 func (r *Replica) poll(ctx context.Context) error {
+	start := time.Now()
+	defer func() { r.svc.ObserveReplPoll(time.Since(start).Seconds()) }()
 	ctx, cancel := context.WithTimeout(ctx, r.timeout(r.PollTimeout, 90*time.Second))
 	defer cancel()
 	url := fmt.Sprintf("%s%s?epoch=%d&offset=%d", r.base, WALPath, r.epoch, r.offset)

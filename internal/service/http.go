@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/exec/result"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -51,11 +53,35 @@ func (s *DB) Handler() http.Handler {
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.Handle("/metrics", s.Metrics().Handler())
+	return s.withQueryID(mux)
+}
+
+// withQueryID assigns every request a process-unique id, echoed back as
+// X-Query-Id and attached to the request-scoped debug log line — the
+// handle for correlating a client-observed response with server logs.
+func (s *DB) withQueryID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("q%d", s.queryIDs.Add(1))
+		w.Header().Set("X-Query-Id", id)
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.logger().Debug("request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int64("micros", time.Since(start).Microseconds()),
+		)
+	})
 }
 
 type planRequest struct {
 	Plan json.RawMessage `json:"plan"`
+	// Explain runs the plan with per-operator tracing and embeds the
+	// report as "trace" in the response (EXPLAIN ANALYZE).
+	Explain bool `json:"explain,omitempty"`
+	// Engine selects "jit" (default) or "vector" for read plans.
+	Engine string `json:"engine,omitempty"`
 }
 
 type execRequest struct {
@@ -68,10 +94,11 @@ type colJSON struct {
 }
 
 type resultJSON struct {
-	Cols     []colJSON `json:"cols"`
-	Rows     [][]any   `json:"rows"`
-	RowCount int       `json:"rowCount"`
-	Micros   int64     `json:"micros"`
+	Cols     []colJSON      `json:"cols"`
+	Rows     [][]any        `json:"rows"`
+	RowCount int            `json:"rowCount"`
+	Micros   int64          `json:"micros"`
+	Trace    []obs.OpReport `json:"trace,omitempty"`
 }
 
 type errorJSON struct {
@@ -88,13 +115,22 @@ func (s *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("request body needs a \"plan\" field"))
 		return
 	}
-	start := time.Now()
-	res, err := s.QueryJSON(req.Plan)
+	p, err := plan.UnmarshalNode(req.Plan)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, encodeResult(res, time.Since(start)))
+	start := time.Now()
+	res, tr, err := s.QueryEx(p, QueryOpts{Explain: req.Explain, Engine: req.Engine})
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	out := encodeResult(res, time.Since(start))
+	if tr != nil {
+		out.Trace = tr.Report()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *DB) handlePrepare(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"log/slog"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Metric surface of the service. Two kinds of collectors coexist here:
+// histograms and counters the request path feeds directly (latency,
+// queue wait, fsync, slow queries), and CounterFunc/GaugeFunc bridges
+// that read the pre-existing statsCounters at scrape time — those
+// counters stay the single source of truth for /stats, so /metrics can
+// never drift from it.
+type svcMetrics struct {
+	reg *obs.Registry
+
+	latOK       *obs.Histogram // end-to-end, including queue wait
+	latFailed   *obs.Histogram
+	latRejected *obs.Histogram
+	queueWait   *obs.Histogram
+
+	ckptSeconds  *obs.Histogram
+	fsyncSeconds *obs.Histogram
+	walAppended  *obs.Counter
+
+	replPoll   *obs.Histogram
+	promotions *obs.Counter
+	fences     *obs.Counter
+
+	slowQueries *obs.Counter
+}
+
+// initMetrics builds the registry over a fully-constructed DB. Called
+// once from New, before the service is shared.
+func (s *DB) initMetrics() {
+	r := obs.NewRegistry()
+	m := &svcMetrics{reg: r}
+
+	lat := "db_query_latency_seconds"
+	latHelp := "End-to-end query latency including admission queue wait, by outcome."
+	m.latOK = r.Histogram(lat, latHelp, nil, obs.Labels{"outcome": "ok"})
+	m.latFailed = r.Histogram(lat, latHelp, nil, obs.Labels{"outcome": "error"})
+	m.latRejected = r.Histogram(lat, latHelp, nil, obs.Labels{"outcome": "rejected"})
+	m.queueWait = r.Histogram("db_query_queue_wait_seconds",
+		"Time spent waiting for an admission slot (queued requests only).", nil, nil)
+
+	counter := func(name, help string, v func() int64) {
+		r.CounterFunc(name, help, nil, func() float64 { return float64(v()) })
+	}
+	qt := "db_queries_total"
+	qtHelp := "Queries finished, by outcome."
+	r.CounterFunc(qt, qtHelp, obs.Labels{"outcome": "ok"},
+		func() float64 { return float64(s.stats.queries.Load()) })
+	r.CounterFunc(qt, qtHelp, obs.Labels{"outcome": "error"},
+		func() float64 { return float64(s.stats.failed.Load()) })
+	r.CounterFunc(qt, qtHelp, obs.Labels{"outcome": "rejected"},
+		func() float64 { return float64(s.stats.rejected.Load()) })
+	counter("db_queries_queued_total", "Requests that waited for an admission slot.", s.stats.queued.Load)
+	counter("db_result_rows_total", "Result rows served by successful queries.", s.stats.rows.Load)
+	r.GaugeFunc("db_inflight_queries", "Queries executing right now.", nil,
+		func() float64 { return float64(s.stats.inFlight.Load()) })
+	counter("db_plan_cache_hits_total", "Executions that reused a compiled plan.", s.stats.planHits.Load)
+	counter("db_plan_cache_misses_total", "Executions that compiled their plan.", s.stats.planMisses.Load)
+	counter("db_plan_cache_evictions_total", "Compiled plans evicted by the LRU.", s.stats.planEvictions.Load)
+	counter("db_relayouts_total", "OptimizeLayouts runs.", s.stats.relayouts.Load)
+	counter("db_loads_total", "Completed bulk loads.", s.stats.loads.Load)
+	counter("db_loaded_rows_total", "Rows ingested by bulk loads.", s.stats.loadedRows.Load)
+
+	r.GaugeFunc("db_pool_workers", "Shared morsel-scheduler pool size (1 = serial).", nil,
+		func() float64 { return float64(s.opt.WorkerCount()) })
+	if s.pool != nil {
+		busyHelp := "Seconds each pool worker spent running morsels."
+		for w := 0; w < s.opt.WorkerCount(); w++ {
+			w := w
+			r.CounterFunc("db_pool_busy_seconds_total", busyHelp,
+				obs.Labels{"worker": strconv.Itoa(w)},
+				func() float64 {
+					if busy := s.pool.BusyNanos(); w < len(busy) {
+						return float64(busy[w]) / 1e9
+					}
+					return 0
+				})
+		}
+	}
+
+	m.ckptSeconds = r.Histogram("db_checkpoint_seconds",
+		"Checkpoint duration (snapshot write + WAL reset).", nil, nil)
+	m.fsyncSeconds = r.Histogram("db_wal_fsync_seconds",
+		"WAL group-commit flush+fsync latency (fsync mode only).", nil, nil)
+	m.walAppended = r.Counter("db_wal_appended_bytes_total",
+		"Bytes appended to the WAL, frames included.", nil)
+	counter("db_checkpoints_total", "Completed checkpoints.", s.stats.checkpoints.Load)
+	counter("db_persist_errors_total", "Failed WAL/checkpoint operations.", s.stats.persistErrs.Load)
+	r.GaugeFunc("db_wal_bytes", "Current WAL length (0 without persistence).", nil, func() float64 {
+		if mgr := s.mgr(); mgr != nil {
+			return float64(mgr.WALSize())
+		}
+		return 0
+	})
+
+	r.GaugeFunc("db_replication_lag_bytes",
+		"Replica: committed primary WAL bytes not yet applied.", nil,
+		func() float64 { return float64(s.repl.lagBytes.Load()) })
+	r.GaugeFunc("db_replication_lag_records",
+		"Replica: committed primary records not yet applied.", nil,
+		func() float64 { return float64(s.repl.lagRecords.Load()) })
+	r.GaugeFunc("db_repl_followers", "Primary: connected WAL tail streams.", nil,
+		func() float64 { return float64(s.repl.followers.Load()) })
+	r.GaugeFunc("db_repl_term", "Replication fencing term (promotion takes term+1).", nil, func() float64 {
+		s.roleMu.RLock()
+		defer s.roleMu.RUnlock()
+		return float64(s.role.term)
+	})
+	counter("db_repl_syncs_total", "Replica: snapshot bootstraps (>1 means resyncs).", s.repl.syncs.Load)
+	counter("db_repl_retries_total", "Replica: retried bootstrap/tail failures.", s.repl.retries.Load)
+	m.replPoll = r.Histogram("db_repl_poll_seconds",
+		"Replica: latency of one poll/apply round against the primary.", nil, nil)
+	m.promotions = r.Counter("db_promotions_total", "Replica promotions to primary.", nil)
+	m.fences = r.Counter("db_fences_total", "Primaries fenced by a higher term.", nil)
+
+	m.slowQueries = r.Counter("db_slow_queries_total",
+		"Queries over the -slow-query-ms threshold.", nil)
+
+	s.metrics = m
+}
+
+// Metrics returns the service's metric registry; its Handler serves
+// GET /metrics in Prometheus text exposition format.
+func (s *DB) Metrics() *obs.Registry { return s.metrics.reg }
+
+// SetLogger replaces the service's structured logger (default
+// slog.Default). Safe to call while serving.
+func (s *DB) SetLogger(l *slog.Logger) { s.logPtr.Store(l) }
+
+// logger returns the current structured logger, never nil.
+func (s *DB) logger() *slog.Logger {
+	if l := s.logPtr.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
+// SetSlowQueryThreshold arms slow-query logging: any read plan whose
+// execution takes at least d is logged with its shape and operator
+// trace. 0 disables. While armed, every read executes with tracing on
+// — the per-operator numbers in the log are real, not resampled.
+func (s *DB) SetSlowQueryThreshold(d time.Duration) {
+	s.slowNanos.Store(d.Nanoseconds())
+}
+
+// ObserveReplPoll feeds the replica poll-latency histogram; the repl
+// tail loop calls it once per poll round.
+func (s *DB) ObserveReplPoll(seconds float64) { s.metrics.replPoll.Observe(seconds) }
+
+// slowQueryShapeBytes caps the plan shape embedded in a slow-query log
+// line; a megabyte-sized remote plan must not flood the log.
+const slowQueryShapeBytes = 2048
+
+// logSlowQuery emits one structured warning for a query that crossed
+// the slow threshold: the constant-normalized plan shape (what you
+// would cache on) and the per-operator trace report.
+func (s *DB) logSlowQuery(p plan.Node, elapsed time.Duration, tr *obs.QueryTrace) {
+	s.metrics.slowQueries.Inc()
+	shape := "?"
+	if data, err := plan.MarshalNode(plan.Normalize(p)); err == nil {
+		if len(data) > slowQueryShapeBytes {
+			data = data[:slowQueryShapeBytes]
+		}
+		shape = string(data)
+	}
+	args := []any{
+		slog.Int64("micros", elapsed.Microseconds()),
+		slog.String("shape", shape),
+	}
+	if tr != nil {
+		args = append(args, slog.Any("trace", tr.Report()))
+	}
+	s.logger().Warn("slow query", args...)
+}

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec/result"
+	"repro/internal/plan"
+)
+
+func TestExplainTraceJIT(t *testing.T) {
+	want := reference(t, testRows, DemoQuery(0.01))
+	s := New(NewDemoDB(testRows), Config{Workers: 2})
+	defer s.Close()
+
+	res, tr, err := s.QueryEx(DemoQuery(0.01), QueryOpts{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(res, want[0]) {
+		t.Fatal("traced result differs from serial reference")
+	}
+	if tr == nil {
+		t.Fatal("Explain returned no trace")
+	}
+	rep := tr.Report()
+	if len(rep) < 2 {
+		t.Fatalf("trace has %d ops, want at least aggregate+scan", len(rep))
+	}
+	ops := map[string]bool{}
+	var scanIn int64
+	for _, op := range rep {
+		ops[op.Op] = true
+		if op.Op == "scan" {
+			scanIn = op.RowsIn
+			if op.Nanos <= 0 {
+				t.Errorf("scan recorded %d nanos, want > 0", op.Nanos)
+			}
+			if len(op.Workers) == 0 {
+				t.Error("parallel scan recorded no worker lanes")
+			}
+		}
+	}
+	if !ops["scan"] || !ops["group-by"] {
+		t.Fatalf("trace ops = %v, want scan and group-by", rep)
+	}
+	if scanIn != testRows {
+		t.Fatalf("scan rowsIn = %d, want %d", scanIn, testRows)
+	}
+}
+
+func TestExplainTraceVector(t *testing.T) {
+	want := reference(t, testRows, DemoQuery(0.01))
+	s := New(NewDemoDB(testRows), Config{Workers: 2})
+	defer s.Close()
+
+	res, tr, err := s.QueryEx(DemoQuery(0.01), QueryOpts{Explain: true, Engine: "vector"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(res, want[0]) {
+		t.Fatal("vector traced result differs from serial reference")
+	}
+	if tr == nil {
+		t.Fatal("Explain returned no trace")
+	}
+	ops := map[string]bool{}
+	for _, op := range tr.Report() {
+		ops[op.Op] = true
+	}
+	if !ops["scan"] || !ops["group-by"] {
+		t.Fatalf("vector trace ops = %v, want scan and group-by", ops)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	s := New(NewDemoDB(testRows), Config{Workers: 1})
+	defer s.Close()
+	if _, _, err := s.QueryEx(DemoQuery(0.01), QueryOpts{Engine: "volcano"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestTracedResultsIdentical runs traced and untraced queries on both
+// engines concurrently (the -race exercise for the trace hot path) and
+// asserts every result is row-identical to the serial reference.
+func TestTracedResultsIdentical(t *testing.T) {
+	queries := []plan.Node{DemoQuery(0.0001), DemoQuery(0.01), DemoQuery(0.1)}
+	want := reference(t, testRows, queries...)
+	s := New(NewDemoDB(testRows), Config{Workers: 4})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				qi := (g + i) % len(queries)
+				o := QueryOpts{Explain: (g+i)%2 == 0}
+				if g%2 == 1 {
+					o.Engine = "vector"
+				}
+				res, tr, err := s.QueryEx(queries[qi], o)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !result.Equal(res, want[qi]) {
+					errs <- fmt.Errorf("goroutine %d query %d (opts %+v): result differs from serial", g, qi, o)
+					return
+				}
+				if o.Explain && tr == nil {
+					errs <- fmt.Errorf("goroutine %d: explain returned no trace", g)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, s := newTestServer(t)
+
+	if _, err := s.Query(DemoQuery(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`db_query_latency_seconds_count{outcome="ok"} 1`,
+		`db_queries_total{outcome="ok"} 1`,
+		"# TYPE db_query_latency_seconds histogram",
+		"db_replication_lag_bytes",
+		"db_checkpoint_seconds",
+		"db_pool_workers 2",
+		"db_inflight_queries 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every non-comment line must parse as "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparsable exposition line %q", line)
+		}
+	}
+}
+
+func TestHTTPExplainQuery(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := strings.Replace(demoQueryJSON(10_000), `{"plan":`, `{"explain": true, "plan":`, 1)
+	resp, out := post(t, srv.URL+"/query", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body = %v", resp.StatusCode, out)
+	}
+	trace, ok := out["trace"].([]any)
+	if !ok || len(trace) == 0 {
+		t.Fatalf("explain response has no trace: %v", out)
+	}
+	op := trace[0].(map[string]any)
+	for _, k := range []string{"op", "rowsIn", "rowsOut", "nanos"} {
+		if _, ok := op[k]; !ok {
+			t.Errorf("trace op missing %q: %v", k, op)
+		}
+	}
+
+	// Without explain the trace key is absent.
+	resp, out = post(t, srv.URL+"/query", demoQueryJSON(10_000))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if _, ok := out["trace"]; ok {
+		t.Fatal("untraced query response carries a trace")
+	}
+}
+
+func TestXQueryIDAndContentType(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, path := range []string{"/stats", "/healthz", "/tables"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
+		}
+		if id := resp.Header.Get("X-Query-Id"); id == "" {
+			t.Errorf("%s response has no X-Query-Id", path)
+		}
+	}
+	// IDs are unique per request.
+	r1, _ := http.Get(srv.URL + "/stats")
+	r1.Body.Close()
+	r2, _ := http.Get(srv.URL + "/stats")
+	r2.Body.Close()
+	if a, b := r1.Header.Get("X-Query-Id"), r2.Header.Get("X-Query-Id"); a == b {
+		t.Fatalf("two requests shared X-Query-Id %q", a)
+	}
+}
+
+func TestSlowQueryLogging(t *testing.T) {
+	s := New(NewDemoDB(testRows), Config{Workers: 2})
+	defer s.Close()
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	s.SetLogger(slog.New(slog.NewTextHandler(&lockedWriter{w: &buf, mu: &mu}, nil)))
+	s.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+
+	if _, err := s.Query(DemoQuery(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "slow query") {
+		t.Fatalf("no slow-query line logged, got %q", logged)
+	}
+	if !strings.Contains(logged, "shape=") || !strings.Contains(logged, "trace=") {
+		t.Fatalf("slow-query line lacks shape/trace: %q", logged)
+	}
+	rec := httptest.NewRecorder()
+	s.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "db_slow_queries_total 1") {
+		t.Fatal("db_slow_queries_total did not increment")
+	}
+}
+
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestQueueWaitObserved drives more concurrent queries than MaxInFlight
+// so some must queue, then checks the queue-wait histogram saw them.
+func TestQueueWaitObserved(t *testing.T) {
+	s := New(NewDemoDB(testRows), Config{Workers: 2, MaxInFlight: 1, QueueTimeout: 5 * time.Second})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Query(DemoQuery(0.1))
+		}()
+	}
+	wg.Wait()
+	if s.Stats().Queued == 0 {
+		t.Skip("no query queued — timing did not produce contention")
+	}
+	rec := httptest.NewRecorder()
+	s.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "db_query_queue_wait_seconds_count") {
+		t.Fatal("queue-wait histogram missing from exposition")
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, "db_query_queue_wait_seconds_count") {
+			var n int64
+			if _, err := fmt.Sscanf(line, "db_query_queue_wait_seconds_count %d", &n); err != nil || n == 0 {
+				t.Fatalf("queue-wait count line %q, want > 0", line)
+			}
+		}
+	}
+}
+
+// TestGracefulResultsDuringShutdown is a lightweight drain check at the
+// service level: queries admitted before Close still complete.
+func TestCloseDoesNotBreakInFlight(t *testing.T) {
+	want := reference(t, testRows, DemoQuery(0.1))
+	s := New(NewDemoDB(testRows), Config{Workers: 4})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		res, err := s.Query(DemoQuery(0.1))
+		if err == nil && !result.Equal(res, want[0]) {
+			err = fmt.Errorf("result differs after pool close")
+		}
+		done <- err
+	}()
+	<-started
+	s.Close() // closed pool degrades to inline serial execution
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("query did not finish after Close")
+	}
+}

@@ -91,6 +91,7 @@ func (s *DB) Promote(term uint64) {
 	s.roleMu.Lock()
 	defer s.roleMu.Unlock()
 	s.role = roleState{term: term}
+	s.metrics.promotions.Inc()
 }
 
 // Fence freezes a superseded primary: term rises to at least term, and
@@ -103,6 +104,9 @@ func (s *DB) Fence(term uint64, by string) {
 	defer s.roleMu.Unlock()
 	if term > s.role.term {
 		s.role.term = term
+	}
+	if !s.role.fenced {
+		s.metrics.fences.Inc()
 	}
 	s.role.fenced = true
 	if by != "" {

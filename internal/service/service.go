@@ -28,6 +28,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,8 @@ import (
 	"repro/internal/exec/jit"
 	"repro/internal/exec/par"
 	"repro/internal/exec/result"
+	"repro/internal/exec/vector"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/plan"
 )
@@ -131,6 +134,16 @@ type DB struct {
 	repl   replCounters
 
 	stats statsCounters
+
+	// Observability: the metric registry (built once in New), the
+	// slow-query threshold in nanoseconds (0 = disarmed; non-zero also
+	// arms tracing on every read so the logged operator numbers are
+	// real), the structured logger, and the query-id sequence the HTTP
+	// middleware draws X-Query-Id values from.
+	metrics   *svcMetrics
+	slowNanos atomic.Int64
+	logPtr    atomic.Pointer[slog.Logger]
+	queryIDs  atomic.Uint64
 }
 
 // roleState is the node's replication identity. term is the fencing
@@ -290,6 +303,7 @@ func New(db *core.DB, cfg Config) *DB {
 	// Every node starts at term 1; replicas adopt the primary's term on
 	// bootstrap and a promotion takes term+1.
 	s.role.term = 1
+	s.initMetrics()
 	return s
 }
 
@@ -304,6 +318,7 @@ func (s *DB) AttachPersist(m *persist.Manager, walCheckpointBytes int64) {
 		walCheckpointBytes = 64 << 20
 	}
 	s.ckptThreshold.Store(walCheckpointBytes)
+	m.SetMetrics(s.metrics.fsyncSeconds, s.metrics.walAppended)
 	s.persistMgr.Store(m)
 }
 
@@ -336,12 +351,15 @@ func (s *DB) admit() (release func(), err error) {
 	case s.sem <- struct{}{}:
 	default:
 		s.stats.queued.Add(1)
+		wait := time.Now()
 		t := time.NewTimer(s.queueTimeout)
 		defer t.Stop()
 		select {
 		case s.sem <- struct{}{}:
+			s.metrics.queueWait.ObserveSince(wait)
 		case <-t.C:
 			s.stats.rejected.Add(1)
+			s.metrics.queueWait.ObserveSince(wait)
 			return nil, ErrOverloaded
 		}
 	}
@@ -446,32 +464,88 @@ func (s *DB) CloseStmt(id string) bool {
 	return true
 }
 
+// QueryOpts selects per-request execution options.
+type QueryOpts struct {
+	// Explain returns the per-operator execution trace alongside the
+	// result (EXPLAIN ANALYZE: the plan runs for real, with counters).
+	Explain bool
+	// Engine picks the execution engine for read plans: "" or "jit"
+	// (compiled, plan-cached — the default) or "vector" (batch-at-a-time
+	// vectorized, uncached). Inserts ignore it.
+	Engine string
+}
+
+// QueryEx is Query with options: it executes p and, when o.Explain is
+// set, also returns the filled execution trace (nil for inserts run
+// without tracing support, never nil for traced reads).
+func (s *DB) QueryEx(p plan.Node, o QueryOpts) (*result.Set, *obs.QueryTrace, error) {
+	key, err := planKey(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.runOpts(p, key, o)
+}
+
 // run is the shared execution path of Query and Exec.
 func (s *DB) run(p plan.Node, key string) (*result.Set, error) {
+	res, _, err := s.runOpts(p, key, QueryOpts{})
+	return res, err
+}
+
+// runOpts admits, executes and accounts one request. The end-to-end
+// latency histograms start before admission (queue wait is part of what
+// the client sees); stats.execNanos keeps its historical meaning of
+// time inside execution only.
+func (s *DB) runOpts(p plan.Node, key string, o QueryOpts) (*result.Set, *obs.QueryTrace, error) {
+	e2e := time.Now()
 	release, err := s.admit()
 	if err != nil {
-		return nil, err
+		s.metrics.latRejected.ObserveSince(e2e)
+		return nil, nil, err
 	}
 	defer release()
 	start := time.Now()
 
 	var res *result.Set
+	var tr *obs.QueryTrace
 	if _, ok := p.(plan.Insert); ok {
 		res, err = s.runInsert(p)
 	} else {
-		res, err = s.runRead(p, key)
+		// A non-zero slow-query threshold arms tracing on every read, so
+		// a query that turns out slow logs its real operator numbers.
+		armed := o.Explain || s.slowNanos.Load() > 0
+		res, tr, err = s.runRead(p, key, o.Engine, armed)
 	}
+	elapsed := time.Since(start)
 	if err != nil {
 		s.stats.failed.Add(1)
-		return nil, err
+		s.metrics.latFailed.ObserveSince(e2e)
+		return nil, nil, err
 	}
 	s.stats.queries.Add(1)
 	s.stats.rows.Add(int64(res.Len()))
-	s.stats.execNanos.Add(time.Since(start).Nanoseconds())
-	return res, nil
+	s.stats.execNanos.Add(elapsed.Nanoseconds())
+	s.metrics.latOK.ObserveSince(e2e)
+	if slow := s.slowNanos.Load(); slow > 0 && elapsed.Nanoseconds() >= slow {
+		s.logSlowQuery(p, elapsed, tr)
+	}
+	if !o.Explain {
+		tr = nil
+	}
+	return res, tr, nil
 }
 
-func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
+// runRead executes a read plan on the selected engine, tracing when
+// armed. The jit path is the cached default; "vector" compiles nothing
+// and runs uncached, so it is the cross-check engine, not the fast one.
+func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, *obs.QueryTrace, error) {
+	switch engine {
+	case "", "jit":
+	case "vector":
+		return s.runReadVector(p, armed)
+	default:
+		return nil, nil, fmt.Errorf("service: unknown engine %q (want \"jit\" or \"vector\")", engine)
+	}
 	s.catalogMu.RLock()
 	defer s.catalogMu.RUnlock()
 	entry := s.lookup(p, key)
@@ -486,9 +560,30 @@ func (s *DB) runRead(p plan.Node, key string) (*result.Set, error) {
 		// Invalid plans are not worth a cache slot: a stream of distinct
 		// bad requests must not pin memory.
 		s.forget(key, entry)
-		return nil, entry.err
+		return nil, nil, entry.err
 	}
-	return entry.prep.Exec(), nil
+	if !armed {
+		return entry.prep.Exec(), nil, nil
+	}
+	tr := entry.prep.NewTrace()
+	return entry.prep.ExecTraced(tr), tr, nil
+}
+
+// runReadVector is the vectorized read path: validated and executed
+// under the read lock like the jit path, but never cached — each
+// request builds its iterator tree from scratch.
+func (s *DB) runReadVector(p plan.Node, armed bool) (*result.Set, *obs.QueryTrace, error) {
+	s.catalogMu.RLock()
+	defer s.catalogMu.RUnlock()
+	if err := plan.Check(p, s.db.Catalog()); err != nil {
+		return nil, nil, err
+	}
+	eng := vector.NewParallel(s.opt)
+	if !armed {
+		return eng.Run(p, s.db.Catalog()), nil, nil
+	}
+	res, tr := eng.RunTraced(p, s.db.Catalog())
+	return res, tr, nil
 }
 
 // runInsert applies a write plan under the exclusive lock. The mutation
@@ -626,11 +721,13 @@ func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
 	defer s.ckptMu.Unlock()
 	s.catalogMu.RLock()
 	defer s.catalogMu.RUnlock()
+	start := time.Now()
 	info, err := m.Checkpoint(s.db)
 	if err != nil {
 		s.stats.persistErrs.Add(1)
 		return info, err
 	}
+	s.metrics.ckptSeconds.ObserveSince(start)
 	s.stats.checkpoints.Add(1)
 	return info, nil
 }
