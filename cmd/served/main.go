@@ -18,6 +18,8 @@
 //	POST /checkpoint {}                      snapshot the catalog, reset the WAL
 //	GET  /tables                             list served tables
 //	GET  /stats                              service counters
+//	GET  /workload                           captured column heat + top plan shapes
+//	GET  /advisor                            layout-drift advice (advisory-only)
 //	GET  /metrics                            Prometheus text exposition
 //	GET  /healthz                            liveness + role health (ok/degraded/fenced)
 //	GET  /repl/snapshot                      (primary) replication bootstrap
@@ -94,6 +96,8 @@ func main() {
 		ckptWALMB   = flag.Int("checkpoint-wal-mb", 64, "with -data-dir: WAL size triggering a background checkpoint (<= 0 disables)")
 		coalesceMS  = flag.Int("wal-coalesce-ms", 0, "with -data-dir: coalesce consecutive insert WAL records within this window (0 = off)")
 		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this URL")
+		advisorIvl  = flag.Duration("advisor-interval", time.Minute, "period of the layout-drift advisor over the captured workload (0 = only on GET /advisor)")
+		driftWarn   = flag.Float64("advisor-drift-warn", service.DefaultDriftWarnRatio, "drift ratio at or above which the advisor logs a warning (<= 0 disables)")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries at least this slow with their operator trace (0 = off)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (empty = off)")
@@ -125,7 +129,7 @@ func main() {
 	}
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg, *drain, *pprofAddr, slowQuery)
+		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg, *drain, *pprofAddr, slowQuery, *advisorIvl, *driftWarn)
 		return
 	}
 
@@ -165,6 +169,8 @@ func main() {
 	s := service.New(db, cfg)
 	defer s.Close()
 	s.SetSlowQueryThreshold(slowQuery)
+	s.SetDriftWarnRatio(*driftWarn)
+	s.StartAdvisor(*advisorIvl)
 	handler := s.Handler()
 	if mgr != nil {
 		s.AttachPersist(mgr, threshold)
@@ -208,10 +214,15 @@ func main() {
 // (reads return empty results until the first bootstrap lands) while the
 // node's tail loop bootstraps and follows the primary with backoff, and
 // it mounts /promote and /demote so an operator can fail it over.
-func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config, drain time.Duration, pprofAddr string, slowQuery time.Duration) {
+func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config, drain time.Duration, pprofAddr string, slowQuery time.Duration, advisorIvl time.Duration, driftWarn float64) {
 	s := service.New(core.Open(), cfg)
 	defer s.Close()
 	s.SetSlowQueryThreshold(slowQuery)
+	// A replica's layouts are the primary's (shipped through the WAL), but
+	// its read mix is its own: drift advice on a replica tells an operator
+	// how far the primary's physical design is from this replica's traffic.
+	s.SetDriftWarnRatio(driftWarn)
+	s.StartAdvisor(advisorIvl)
 
 	nodeCfg := repl.NodeConfig{PrimaryURL: primary, CheckpointWAL: threshold}
 	if dataDir != "" {

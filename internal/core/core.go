@@ -186,7 +186,7 @@ func (db *DB) OptimizeLayouts() []LayoutChange {
 	est := costmodel.NewEstimator(db.catalog, db.geometry)
 	o := layout.NewOptimizer(est)
 	var changes []LayoutChange
-	for _, tbl := range tablesOf(db.mix, db.catalog) {
+	for _, tbl := range db.mix.Tables() {
 		rel := db.catalog.Table(tbl)
 		oldLayout := rel.Layout
 		oldCost := db.mix.Cost(est, map[string]storage.Layout{tbl: oldLayout})
@@ -230,42 +230,4 @@ func rebuildIndexes(c *plan.Catalog, table string, rel *storage.Relation) {
 			}
 		}
 	}
-}
-
-// tablesOf collects the base tables the workload touches.
-func tablesOf(w *workload.Workload, c *plan.Catalog) []string {
-	seen := map[string]bool{}
-	var order []string
-	var walk func(n plan.Node)
-	walk = func(n plan.Node) {
-		switch v := n.(type) {
-		case plan.Scan:
-			if !seen[v.Table] {
-				seen[v.Table] = true
-				order = append(order, v.Table)
-			}
-		case plan.Select:
-			walk(v.Child)
-		case plan.Project:
-			walk(v.Child)
-		case plan.HashJoin:
-			walk(v.Left)
-			walk(v.Right)
-		case plan.Aggregate:
-			walk(v.Child)
-		case plan.Sort:
-			walk(v.Child)
-		case plan.Limit:
-			walk(v.Child)
-		case plan.Insert:
-			if !seen[v.Table] {
-				seen[v.Table] = true
-				order = append(order, v.Table)
-			}
-		}
-	}
-	for _, q := range w.Queries {
-		walk(q.Plan)
-	}
-	return order
 }

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+)
+
+// TableAccess describes one base table a read plan touches: the attribute
+// positions execution reads (projected columns plus filter attributes) and
+// the rows one execution scans. It is the unit of the workload-capture
+// footprint — computed once at plan-compile time so the per-execution
+// accounting is a handful of atomic adds against precomputed counters.
+type TableAccess struct {
+	Table string
+	// Attrs are the attribute positions read, sorted and deduplicated.
+	Attrs []int
+	// Rows is the number of rows one execution scans. For a sequential
+	// scan this is the table's row count at compile time (exact for the
+	// service: its plan cache is invalidated on every catalog change).
+	// Index-satisfied scans report 0 — the fetched-row count varies per
+	// execution and is small by construction.
+	Rows int64
+	// Index reports that PlanIndexAccess satisfies the scan, so the
+	// access is point lookups rather than a full pass.
+	Index bool
+}
+
+// CollectAccesses walks a plan and returns its base-table accesses, one
+// entry per distinct table in first-touch order. A table scanned at
+// several points of the plan (e.g. a self join) gets the union of the
+// attribute sets and the sum of the scanned rows. Insert nodes are
+// skipped: the footprint accounts column reads, and writes invalidate
+// the compiled form anyway. The index-vs-scan decision mirrors
+// PlanIndexAccess, the shared planner helper both the jit and vector
+// engines use, so the reported footprint matches what the fused loops
+// and batch iterators actually touch.
+func CollectAccesses(n plan.Node, c *plan.Catalog) []TableAccess {
+	byTable := map[string]int{}
+	var out []TableAccess
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		switch v := n.(type) {
+		case plan.Scan:
+			attrs := append([]int(nil), v.Cols...)
+			if v.Filter != nil {
+				attrs = append(attrs, expr.PredAttrs(v.Filter)...)
+			}
+			sort.Ints(attrs)
+			attrs = dedupInts(attrs)
+			rows := int64(0)
+			indexed := false
+			if v.Filter != nil {
+				_, indexed = PlanIndexAccess(c, v.Table, v.Filter)
+			}
+			if !indexed && c.Has(v.Table) {
+				rows = int64(c.Table(v.Table).Rows())
+			}
+			if i, ok := byTable[v.Table]; ok {
+				acc := &out[i]
+				acc.Attrs = dedupInts(mergeSorted(acc.Attrs, attrs))
+				acc.Rows += rows
+				acc.Index = acc.Index && indexed
+				return
+			}
+			byTable[v.Table] = len(out)
+			out = append(out, TableAccess{Table: v.Table, Attrs: attrs, Rows: rows, Index: indexed})
+		case plan.Select:
+			walk(v.Child)
+		case plan.Project:
+			walk(v.Child)
+		case plan.HashJoin:
+			walk(v.Left)
+			walk(v.Right)
+		case plan.Aggregate:
+			walk(v.Child)
+		case plan.Sort:
+			walk(v.Child)
+		case plan.Limit:
+			walk(v.Child)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// mergeSorted merges two sorted int slices into a new sorted slice
+// (duplicates preserved; pair with dedupInts).
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	return out
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice, in place.
+func dedupInts(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	j := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[j-1] {
+			s[j] = s[i]
+			j++
+		}
+	}
+	return s[:j]
+}

@@ -55,10 +55,11 @@ func (e Engine) Run(n plan.Node, c *plan.Catalog) *result.Set {
 // sinks. The service layer relies on this to run one cached Prepared for
 // many simultaneous requests.
 type Prepared struct {
-	cols    []plan.Column
-	exec    func(tr *obs.QueryTrace) [][]storage.Word
-	protos  []obs.OpProto
-	workers int
+	cols     []plan.Column
+	exec     func(tr *obs.QueryTrace) [][]storage.Word
+	protos   []obs.OpProto
+	workers  int
+	accesses []exec.TableAccess
 }
 
 // Prepare compiles the plan against the catalog for serial execution.
@@ -89,8 +90,21 @@ func PrepareOpt(n plan.Node, c *plan.Catalog, opt par.Options) *Prepared {
 		}
 	}
 	ex := prepareNode(n, c, opt, tb, 0)
-	return &Prepared{cols: plan.Output(n, c), exec: ex, protos: tb.protos, workers: workers}
+	return &Prepared{
+		cols:     plan.Output(n, c),
+		exec:     ex,
+		protos:   tb.protos,
+		workers:  workers,
+		accesses: exec.CollectAccesses(n, c),
+	}
 }
+
+// Accesses returns the compiled plan's base-table footprint — which
+// tables and attribute positions each execution reads, and how many rows
+// it scans — computed once at compile time. The service's workload
+// capture resolves it into atomic counters so the per-execution cost of
+// always-on telemetry is a handful of atomic adds.
+func (p *Prepared) Accesses() []exec.TableAccess { return p.accesses }
 
 // Exec runs the compiled query with tracing disarmed.
 func (p *Prepared) Exec() *result.Set { return p.ExecTraced(nil) }

@@ -45,6 +45,17 @@ func NewParallel(opt par.Options) Engine { return Engine{opt: opt} }
 // Name returns "vector".
 func (Engine) Name() string { return "vector" }
 
+// Accesses reports the base-table footprint of executing n on this
+// engine: the tables and attribute positions the batch iterators read and
+// the rows they scan. The vector path builds its iterator tree per
+// request (nothing is cached), so the service's workload capture calls
+// this at request time; the index-vs-scan decision inside build mirrors
+// exec.PlanIndexAccess, which is exactly what CollectAccesses consults,
+// so the reported footprint matches what next() loops touch.
+func Accesses(n plan.Node, c *plan.Catalog) []exec.TableAccess {
+	return exec.CollectAccesses(n, c)
+}
+
 // batch is one vector of tuples, column-major. Columns are reused across
 // next() calls; consumers must copy what they keep.
 type batch struct {

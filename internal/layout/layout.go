@@ -197,6 +197,27 @@ func (o *Optimizer) Optimize(table string, w *workload.Workload) (storage.Layout
 	return bestLayout, bestCost
 }
 
+// Drift prices table's currently stored layout against the BPi optimum
+// for the given workload and returns both costs plus the recommended
+// layout. Only the queries touching the table are priced (others would
+// add the same constant to both sides and dilute the ratio), and — like
+// core.DB.OptimizeLayouts — the stored layout wins ties: when BPi finds
+// nothing strictly cheaper, the recommendation is the stored layout
+// itself and current == optimal. The ratio current/optimal is the
+// layout-drift measure the advisor exposes: 1 means the physical design
+// still matches the live mix, 2 means the mix pays twice the modeled
+// cost of the optimal decomposition. Read-only: nothing is relaid.
+func (o *Optimizer) Drift(table string, w *workload.Workload) (current, optimal float64, best storage.Layout) {
+	wt := w.Touching(table)
+	stored := o.Est.C.Table(table).Layout
+	current = wt.Cost(o.Est, map[string]storage.Layout{table: stored})
+	best, optimal = o.Optimize(table, wt)
+	if optimal >= current {
+		return current, current, stored
+	}
+	return current, optimal, best
+}
+
 // Exhaustive enumerates every set partition of width attributes (only
 // feasible for small widths; Bell(10) ≈ 116k) and returns the cheapest —
 // the OBP-style optimum the tests compare BPi against.

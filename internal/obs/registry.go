@@ -69,6 +69,13 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 	r.register(name, help, "gauge", labels, func() *instance { return &instance{fn: fn} })
 }
 
+// Info registers a gauge that is constantly 1 and carries its payload in
+// the labels — the Prometheus idiom for static metadata such as
+// build/version info (foo_build_info{version="1.2",goversion="go1.x"} 1).
+func (r *Registry) Info(name, help string, labels Labels) {
+	r.GaugeFunc(name, help, labels, func() float64 { return 1 })
+}
+
 // Histogram registers (or returns the already-registered) histogram over
 // the given upper bounds (nil = DefBuckets).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {

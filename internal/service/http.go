@@ -25,6 +25,8 @@ import (
 //	POST /checkpoint {}                             -> snapshot + WAL reset
 //	GET  /tables                                    -> catalog listing
 //	GET  /stats                                     -> service counters
+//	GET  /workload                                  -> captured column heat + plan shapes
+//	GET  /advisor                                   -> layout-drift advice (advisory-only)
 //
 // Results decode words by column type: int64/float64/bool become JSON
 // numbers/booleans; string columns whose provenance is a base table
@@ -52,6 +54,8 @@ func (s *DB) Handler() http.Handler {
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/workload", s.handleWorkload)
+	mux.HandleFunc("/advisor", s.handleAdvisor)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.Metrics().Handler())
 	return s.withQueryID(mux)
@@ -280,6 +284,36 @@ func (s *DB) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleWorkload serves the live capture snapshot: per-table column heat
+// and the top tracked plan shapes.
+func (s *DB) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.WorkloadSnapshot())
+}
+
+// handleAdvisor runs a fresh drift analysis of the captured mix and
+// serves the per-table advice. Advisory-only: no relayout happens here —
+// POST /optimize is the acting path (and it optimizes for the *declared*
+// workload; the advice tells an operator when the live mix has drifted
+// from it).
+func (s *DB) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	start := time.Now()
+	rep := s.Advise()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"advice":  rep.Advice,
+		"queries": rep.Queries,
+		"shapes":  rep.Shapes,
+		"micros":  time.Since(start).Microseconds(),
+	})
 }
 
 // handleHealthz is the liveness/role probe. It always answers 200 as

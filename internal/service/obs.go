@@ -2,9 +2,12 @@ package service
 
 import (
 	"log/slog"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
@@ -32,6 +35,7 @@ type svcMetrics struct {
 	fences     *obs.Counter
 
 	slowQueries *obs.Counter
+	advisorRuns *obs.Counter
 }
 
 // initMetrics builds the registry over a fully-constructed DB. Called
@@ -125,7 +129,96 @@ func (s *DB) initMetrics() {
 	m.slowQueries = r.Counter("db_slow_queries_total",
 		"Queries over the -slow-query-ms threshold.", nil)
 
+	// Plan-cache shape gauges: /stats planCacheShapes made scrapeable.
+	// Per-shape series would be unbounded cardinality (shapes are
+	// content-addressed digests), so only the aggregate shape count and
+	// the entry count behind the hottest shape are exported — together
+	// they quantify the constant-embedding blowup (entries ≫ shapes, top
+	// shape holding most entries) that parameter binding would collapse.
+	r.GaugeFunc("db_plan_cache_shapes",
+		"Distinct constant-normalized plan shapes behind the cached entries.", nil,
+		func() float64 {
+			s.planMu.Lock()
+			defer s.planMu.Unlock()
+			return float64(len(s.plans.shapes))
+		})
+	r.GaugeFunc("db_plan_cache_top_shape_entries",
+		"Cache entries held by the most duplicated plan shape (constant variants of one query).", nil,
+		func() float64 {
+			s.planMu.Lock()
+			defer s.planMu.Unlock()
+			top := 0
+			for _, n := range s.plans.shapes {
+				if n > top {
+					top = n
+				}
+			}
+			return float64(top)
+		})
+
+	m.advisorRuns = r.Counter("db_layout_advisor_runs_total",
+		"Layout-drift advisor analyses (periodic loop + GET /advisor).", nil)
+
+	r.Info("served_build_info",
+		"Build metadata of the serving binary; value is constant 1.",
+		obs.Labels{"version": buildVersion(), "goversion": runtime.Version()})
+	r.GaugeFunc("served_uptime_seconds",
+		"Seconds since the service was constructed.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+
 	s.metrics = m
+}
+
+// buildVersion reports the main module's version as stamped by the Go
+// toolchain ("(devel)" for plain go build, a pseudo-version or tag for
+// module-aware installs).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// driftGauge returns the per-table layout-drift gauge, registering it on
+// first use (re-registration returns the existing instance, so Advise
+// just calls this every run).
+func (s *DB) driftGauge(table string) *obs.Gauge {
+	return s.metrics.reg.Gauge("db_layout_drift_ratio",
+		"Current-layout workload cost over BPi-optimal cost for the captured mix, per table (1 = no drift).",
+		obs.Labels{"table": table})
+}
+
+// registerHeat exposes the capture counters of newly seen tables on the
+// registry: per-column read counts plus per-table execution and
+// rows-scanned tallies. Called from the compile path (once per table,
+// guarded by heatTables), never from the per-execution path. Cardinality
+// is bounded by the schema: one series per column, not per query.
+func (s *DB) registerHeat(accs []exec.TableAccess) {
+	for _, acc := range accs {
+		if _, seen := s.heatTables.LoadOrStore(acc.Table, struct{}{}); seen {
+			continue
+		}
+		tc := s.capture.Table(acc.Table)
+		if tc == nil {
+			s.heatTables.Delete(acc.Table) // not registered (unknown table); retry later
+			continue
+		}
+		r := s.metrics.reg
+		labels := obs.Labels{"table": acc.Table}
+		r.CounterFunc("db_table_queries_total",
+			"Executions that scanned the table (workload capture).", labels,
+			func() float64 { return float64(tc.Execs()) })
+		r.CounterFunc("db_table_rows_scanned_total",
+			"Rows covered by the table's scans (workload capture; index lookups count 0).", labels,
+			func() float64 { return float64(tc.RowsScanned()) })
+		for attr := 0; attr < tc.Width(); attr++ {
+			attr := attr
+			r.CounterFunc("db_column_reads_total",
+				"Executions that read the column (workload capture).",
+				obs.Labels{"table": acc.Table, "column": tc.ColName(attr)},
+				func() float64 { return float64(tc.ColReads(attr)) })
+		}
+	}
 }
 
 // Metrics returns the service's metric registry; its Handler serves

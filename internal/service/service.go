@@ -41,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/plan"
+	"repro/internal/workload"
 )
 
 // ErrOverloaded reports that admission control rejected a request because
@@ -144,6 +145,20 @@ type DB struct {
 	slowNanos atomic.Int64
 	logPtr    atomic.Pointer[slog.Logger]
 	queryIDs  atomic.Uint64
+	start     time.Time
+
+	// Workload telemetry: always-on capture of per-column access
+	// frequencies and plan-shape counts. Footprints are resolved once
+	// per compilation (jit) or per request (vector, uncached by design);
+	// the per-execution cost is Footprint.Record — atomic adds only.
+	// The advisor (Advise, StartAdvisor) converts the captured mix into
+	// the optimizer's declaration form and prices layout drift; it never
+	// relays anything.
+	capture       *workload.Capture
+	heatTables    sync.Map // table name -> struct{}{}: heat metrics registered
+	advisorWarn   atomic.Uint64
+	advisorStop   chan struct{}
+	advisorStopMu sync.Mutex
 }
 
 // roleState is the node's replication identity. term is the fencing
@@ -259,6 +274,13 @@ type cachedPlan struct {
 	once sync.Once
 	prep *jit.Prepared
 	err  error
+	// shape/shapeJSON carry the normalized-plan identity from lookup to
+	// the compile closure; fp is the workload-capture footprint resolved
+	// alongside compilation, so every later execution records through
+	// precomputed atomic-counter pointers.
+	shape     string
+	shapeJSON []byte
+	fp        *workload.Footprint
 }
 
 // Stmt is a prepared statement handle: a validated plan bound to the
@@ -299,6 +321,8 @@ func New(db *core.DB, cfg Config) *DB {
 		stmts:        map[string]*Stmt{},
 		sem:          make(chan struct{}, inFlight),
 		queueTimeout: timeout,
+		start:        time.Now(),
+		capture:      workload.NewCapture(0),
 	}
 	// Every node starts at term 1; replicas adopt the primary's term on
 	// bootstrap and a promotion takes term+1.
@@ -333,9 +357,11 @@ func (s *DB) DetachPersist() *persist.Manager {
 // mgr returns the attached durability manager (nil = in-memory only).
 func (s *DB) mgr() *persist.Manager { return s.persistMgr.Load() }
 
-// Close stops the shared pool. In-flight queries finish (a closed pool
-// degrades to inline serial execution); new queries keep working serially.
+// Close stops the advisor loop and the shared pool. In-flight queries
+// finish (a closed pool degrades to inline serial execution); new
+// queries keep working serially.
 func (s *DB) Close() {
+	s.StopAdvisor()
 	if s.pool != nil {
 		s.pool.Close()
 	}
@@ -542,7 +568,7 @@ func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, 
 	switch engine {
 	case "", "jit":
 	case "vector":
-		return s.runReadVector(p, armed)
+		return s.runReadVector(p, key, armed)
 	default:
 		return nil, nil, fmt.Errorf("service: unknown engine %q (want \"jit\" or \"vector\")", engine)
 	}
@@ -555,6 +581,12 @@ func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, 
 			return
 		}
 		entry.prep = jit.PrepareOpt(p, s.db.Catalog(), s.opt)
+		// Workload capture pays its resolution cost here, once per
+		// compilation: every execution of this entry then records
+		// through precomputed atomic-counter pointers.
+		entry.fp = s.capture.Resolve(s.db.Catalog(), entry.prep.Accesses(),
+			entry.shape, entry.shapeJSON, p)
+		s.registerHeat(entry.prep.Accesses())
 	})
 	if entry.err != nil {
 		// Invalid plans are not worth a cache slot: a stream of distinct
@@ -563,26 +595,39 @@ func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, 
 		return nil, nil, entry.err
 	}
 	if !armed {
-		return entry.prep.Exec(), nil, nil
+		res := entry.prep.Exec()
+		entry.fp.Record()
+		return res, nil, nil
 	}
 	tr := entry.prep.NewTrace()
-	return entry.prep.ExecTraced(tr), tr, nil
+	res := entry.prep.ExecTraced(tr)
+	entry.fp.Record()
+	return res, tr, nil
 }
 
 // runReadVector is the vectorized read path: validated and executed
 // under the read lock like the jit path, but never cached — each
-// request builds its iterator tree from scratch.
-func (s *DB) runReadVector(p plan.Node, armed bool) (*result.Set, *obs.QueryTrace, error) {
+// request builds its iterator tree from scratch, and likewise resolves
+// its capture footprint per request (the price of the uncached engine,
+// bounded by the same <2% guard as the jit path's per-exec Record).
+func (s *DB) runReadVector(p plan.Node, key string, armed bool) (*result.Set, *obs.QueryTrace, error) {
 	s.catalogMu.RLock()
 	defer s.catalogMu.RUnlock()
 	if err := plan.Check(p, s.db.Catalog()); err != nil {
 		return nil, nil, err
 	}
+	shape, shapeJSON := shapeOf(p, key)
+	accs := vector.Accesses(p, s.db.Catalog())
+	fp := s.capture.Resolve(s.db.Catalog(), accs, shape, shapeJSON, p)
+	s.registerHeat(accs)
 	eng := vector.NewParallel(s.opt)
 	if !armed {
-		return eng.Run(p, s.db.Catalog()), nil, nil
+		res := eng.Run(p, s.db.Catalog())
+		fp.Record()
+		return res, nil, nil
 	}
 	res, tr := eng.RunTraced(p, s.db.Catalog())
+	fp.Record()
 	return res, tr, nil
 }
 
@@ -637,7 +682,7 @@ func (s *DB) lookup(p plan.Node, key string) *cachedPlan {
 		return entry
 	}
 	s.planMu.Unlock()
-	shape := shapeKey(p, key)
+	shape, shapeJSON := shapeOf(p, key)
 
 	s.planMu.Lock()
 	defer s.planMu.Unlock()
@@ -647,23 +692,24 @@ func (s *DB) lookup(p plan.Node, key string) *cachedPlan {
 		return entry
 	}
 	s.stats.planMisses.Add(1)
-	entry = &cachedPlan{}
+	entry = &cachedPlan{shape: shape, shapeJSON: shapeJSON}
 	if evicted := s.plans.add(key, shape, entry); evicted > 0 {
 		s.stats.planEvictions.Add(int64(evicted))
 	}
 	return entry
 }
 
-// shapeKey fingerprints the plan with constants normalized out; on a
-// marshal failure the full key doubles as the shape (over-counting shapes
-// is safer than conflating them).
-func shapeKey(p plan.Node, fallback string) string {
+// shapeOf fingerprints the plan with constants normalized out and also
+// returns the normalized encoding (the workload capture retains it for
+// display). On a marshal failure the full key doubles as the shape —
+// over-counting shapes is safer than conflating them.
+func shapeOf(p plan.Node, fallback string) (string, []byte) {
 	data, err := plan.MarshalNode(plan.Normalize(p))
 	if err != nil {
-		return fallback
+		return fallback, nil
 	}
 	sum := sha256.Sum256(data)
-	return string(sum[:])
+	return string(sum[:]), data
 }
 
 // forget drops a cache entry that turned out not to be worth keeping

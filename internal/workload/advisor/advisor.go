@@ -1,0 +1,69 @@
+// Package advisor turns captured workload telemetry into layout-drift
+// advice: for every table a live mix touches, it prices the current
+// stored layout against the BPi optimum for that mix and reports the
+// drift ratio plus the recommended partitioning. It is strictly advisory
+// — nothing is relaid — and deterministic: the same catalog, geometry and
+// mix always produce the same advice, which is what lets the tests pin
+// its output against an offline optimizer run over the equivalent
+// declared workload.
+//
+// The package sits above both workload (the capture and declaration
+// forms) and layout (the BPi search); keeping it out of package workload
+// avoids an import cycle, since layout already imports workload.
+package advisor
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// TableAdvice is one table's drift verdict.
+type TableAdvice struct {
+	Table string `json:"table"`
+	Rows  int    `json:"rows"`
+	// Layout is the currently stored layout; Recommended is what BPi
+	// picks for the observed mix (equal to Layout when no strictly
+	// cheaper decomposition exists).
+	Layout      string `json:"layout"`
+	Recommended string `json:"recommended"`
+	// CurrentCost and OptimalCost price the mix's queries touching this
+	// table (modeled CPU cycles, frequency-weighted) under the two
+	// layouts; Drift is their ratio (>= 1, and 1 means no drift).
+	CurrentCost float64 `json:"currentCost"`
+	OptimalCost float64 `json:"optimalCost"`
+	Drift       float64 `json:"drift"`
+}
+
+// Advise runs the drift analysis for every table the workload touches
+// that exists in the catalog. The caller provides a consistent view: the
+// service invokes it under its catalog read lock so layouts cannot change
+// mid-analysis.
+func Advise(cat *plan.Catalog, g mem.Geometry, w *workload.Workload) []TableAdvice {
+	est := costmodel.NewEstimator(cat, g)
+	o := layout.NewOptimizer(est)
+	out := []TableAdvice{}
+	for _, tbl := range w.Tables() {
+		if !cat.Has(tbl) {
+			continue
+		}
+		rel := cat.Table(tbl)
+		current, optimal, best := o.Drift(tbl, w)
+		drift := 1.0
+		if optimal > 0 {
+			drift = current / optimal
+		}
+		out = append(out, TableAdvice{
+			Table:       tbl,
+			Rows:        rel.Rows(),
+			Layout:      rel.Layout.String(),
+			Recommended: best.String(),
+			CurrentCost: current,
+			OptimalCost: optimal,
+			Drift:       drift,
+		})
+	}
+	return out
+}

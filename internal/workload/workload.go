@@ -38,3 +38,75 @@ func (w *Workload) Cost(e *costmodel.Estimator, layouts map[string]storage.Layou
 	}
 	return total
 }
+
+// Tables lists the base tables the workload's plans touch, in first-seen
+// order. Scan and Insert targets both count: the optimizer partitions any
+// table the mix reads or appends to.
+func (w *Workload) Tables() []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, q := range w.Queries {
+		for _, t := range planTables(q.Plan) {
+			if !seen[t] {
+				seen[t] = true
+				order = append(order, t)
+			}
+		}
+	}
+	return order
+}
+
+// Touching restricts the workload to the queries whose plans reference
+// table, preserving order and frequencies. Per-table drift is measured on
+// this restriction so that queries over other tables do not dilute the
+// ratio: they would contribute the same constant cost to both the current
+// and the optimal layout.
+func (w *Workload) Touching(table string) *Workload {
+	out := &Workload{Name: w.Name}
+	for _, q := range w.Queries {
+		for _, t := range planTables(q.Plan) {
+			if t == table {
+				out.Queries = append(out.Queries, q)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// planTables collects the base tables one plan references, in first-seen
+// order.
+func planTables(n plan.Node) []string {
+	seen := map[string]bool{}
+	var order []string
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		switch v := n.(type) {
+		case plan.Scan:
+			if !seen[v.Table] {
+				seen[v.Table] = true
+				order = append(order, v.Table)
+			}
+		case plan.Select:
+			walk(v.Child)
+		case plan.Project:
+			walk(v.Child)
+		case plan.HashJoin:
+			walk(v.Left)
+			walk(v.Right)
+		case plan.Aggregate:
+			walk(v.Child)
+		case plan.Sort:
+			walk(v.Child)
+		case plan.Limit:
+			walk(v.Child)
+		case plan.Insert:
+			if !seen[v.Table] {
+				seen[v.Table] = true
+				order = append(order, v.Table)
+			}
+		}
+	}
+	walk(n)
+	return order
+}
