@@ -20,6 +20,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/exec"
@@ -38,24 +40,41 @@ import (
 	"repro/internal/workload"
 )
 
-// DB is a memory-resident database instance.
+// DB is a memory-resident database instance. The catalog is versioned:
+// the current version is published through an atomic pointer (see
+// mvcc.go), readers pin it with Snapshot, and the MVCC write path
+// (BeginWrite) builds the next version copy-on-write and publishes it
+// with one pointer swap. The in-place mutators below (CreateTable,
+// AddTable, Query over Insert, ApplyLayout, OptimizeLayouts, index
+// creation) edit the current version's catalog directly; they are for
+// single-writer use — experiment wiring, recovery replay, and the serial
+// paper baselines — and must not run concurrently with anything.
 type DB struct {
-	catalog  *plan.Catalog
+	id       uint64                  // process-unique, distinguishes epochs across SwapCore
+	cur      atomic.Pointer[version] // published catalog version
+	verMu    sync.Mutex              // guards retired
+	retired  []*version              // superseded versions awaiting reader drain
+	dropped  atomic.Int64            // versions reclaimed after their last unpin
+	pinned   atomic.Int64            // currently held snapshots
 	geometry mem.Geometry
 	engine   exec.Engine
 	mix      *workload.Workload
 	adaptive *adaptiveState
 }
 
+var nextDBID atomic.Uint64
+
 // Open creates an empty database using the paper's Table III hardware
 // model and the JiT engine.
 func Open() *DB {
-	return &DB{
-		catalog:  plan.NewCatalog(),
+	db := &DB{
+		id:       nextDBID.Add(1),
 		geometry: mem.TableIII(),
 		engine:   jit.New(),
 		mix:      &workload.Workload{Name: "default"},
 	}
+	db.cur.Store(&version{epoch: 1, cat: plan.NewCatalog()})
+	return db
 }
 
 // SetWorkers configures the morsel-scheduler worker count of the
@@ -91,8 +110,10 @@ func (db *DB) SetParOptions(opt par.Options) *DB {
 	return db
 }
 
-// Catalog exposes the underlying catalog (advanced use).
-func (db *DB) Catalog() *plan.Catalog { return db.catalog }
+// Catalog exposes the current version's catalog (advanced use). Callers
+// that need a stable view across multiple operations should pin a
+// Snapshot instead.
+func (db *DB) Catalog() *plan.Catalog { return db.cur.Load().cat }
 
 // Geometry returns the hardware model used for cost estimation.
 func (db *DB) Geometry() mem.Geometry { return db.geometry }
@@ -101,33 +122,33 @@ func (db *DB) Geometry() mem.Geometry { return db.geometry }
 // database under the N-ary layout and returns it.
 func (db *DB) CreateTable(b *storage.Builder) *storage.Relation {
 	rel := b.Build(storage.NSM(b.Schema().Width()))
-	db.catalog.Add(rel)
+	db.Catalog().Add(rel)
 	return rel
 }
 
 // AddTable registers an existing relation.
-func (db *DB) AddTable(rel *storage.Relation) { db.catalog.Add(rel) }
+func (db *DB) AddTable(rel *storage.Relation) { db.Catalog().Add(rel) }
 
 // Table returns a registered relation.
-func (db *DB) Table(name string) *storage.Relation { return db.catalog.Table(name) }
+func (db *DB) Table(name string) *storage.Relation { return db.Catalog().Table(name) }
 
 // CreateHashIndex builds and registers a hash index on table.attr.
 func (db *DB) CreateHashIndex(table string, attr int) {
-	rel := db.catalog.Table(table)
-	db.catalog.AddIndex(table, attr, index.BuildOn(index.NewHashIndex(rel.Rows()), rel, attr))
+	rel := db.Catalog().Table(table)
+	db.Catalog().AddIndex(table, attr, index.BuildOn(index.NewHashIndex(rel.Rows()), rel, attr))
 }
 
 // CreateTreeIndex builds and registers a red-black tree index.
 func (db *DB) CreateTreeIndex(table string, attr int) {
-	rel := db.catalog.Table(table)
-	db.catalog.AddIndex(table, attr, index.BuildOn(index.NewRBTree(), rel, attr))
+	rel := db.Catalog().Table(table)
+	db.Catalog().AddIndex(table, attr, index.BuildOn(index.NewRBTree(), rel, attr))
 }
 
 // Query executes a plan with the compiled (JiT-style) engine. In adaptive
 // mode (EnableAdaptive) the query is added to the observed workload and
 // may trigger a background re-layout.
 func (db *DB) Query(p plan.Node) *result.Set {
-	res := db.engine.Run(p, db.catalog)
+	res := db.engine.Run(p, db.Catalog())
 	db.observe(p)
 	return res
 }
@@ -150,7 +171,7 @@ func (db *DB) QueryWith(engineName string, p plan.Node) (*result.Set, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown engine %q", engineName)
 	}
-	return e.Run(p, db.catalog), nil
+	return e.Run(p, db.Catalog()), nil
 }
 
 // AddWorkload declares the query mix used by OptimizeLayouts.
@@ -161,13 +182,13 @@ func (db *DB) AddWorkload(name string, p plan.Node, frequency float64) {
 // AccessPattern returns the cost model's pattern program for a plan — the
 // paper's "programmable cost model" view of the query.
 func (db *DB) AccessPattern(p plan.Node) string {
-	return costmodel.Translate(p, db.catalog, nil).String()
+	return costmodel.Translate(p, db.Catalog(), nil).String()
 }
 
 // EstimateCost prices a plan (in modeled CPU cycles) under the current
 // layouts.
 func (db *DB) EstimateCost(p plan.Node) float64 {
-	return costmodel.CostOfPlan(p, db.catalog, nil, db.geometry)
+	return costmodel.CostOfPlan(p, db.Catalog(), nil, db.geometry)
 }
 
 // LayoutChange records one table's re-layout decision.
@@ -183,18 +204,18 @@ type LayoutChange struct {
 // workload and materializes the chosen layouts, returning the per-table
 // decisions. Registered indexes are rebuilt on the re-laid-out relations.
 func (db *DB) OptimizeLayouts() []LayoutChange {
-	est := costmodel.NewEstimator(db.catalog, db.geometry)
+	est := costmodel.NewEstimator(db.Catalog(), db.geometry)
 	o := layout.NewOptimizer(est)
 	var changes []LayoutChange
 	for _, tbl := range db.mix.Tables() {
-		rel := db.catalog.Table(tbl)
+		rel := db.Catalog().Table(tbl)
 		oldLayout := rel.Layout
 		oldCost := db.mix.Cost(est, map[string]storage.Layout{tbl: oldLayout})
 		best, newCost := o.Optimize(tbl, db.mix)
 		if !best.Equal(oldLayout) && newCost < oldCost {
 			reindexed := rel.WithLayout(best)
-			db.catalog.Add(reindexed)
-			rebuildIndexes(db.catalog, tbl, reindexed)
+			db.Catalog().Add(reindexed)
+			rebuildIndexes(db.Catalog(), tbl, reindexed)
 			changes = append(changes, LayoutChange{
 				Table: tbl, Old: oldLayout, New: best, OldCost: oldCost, NewCost: newCost,
 			})
@@ -210,13 +231,13 @@ func (db *DB) OptimizeLayouts() []LayoutChange {
 // what the optimizer picked, not what a replayed optimization over a
 // different intermediate state would pick.
 func (db *DB) ApplyLayout(table string, l storage.Layout) {
-	rel := db.catalog.Table(table)
+	rel := db.Catalog().Table(table)
 	if rel.Layout.Equal(l) {
 		return
 	}
 	relaid := rel.WithLayout(l)
-	db.catalog.Add(relaid)
-	rebuildIndexes(db.catalog, table, relaid)
+	db.Catalog().Add(relaid)
+	rebuildIndexes(db.Catalog(), table, relaid)
 }
 
 func rebuildIndexes(c *plan.Catalog, table string, rel *storage.Relation) {

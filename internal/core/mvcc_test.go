@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/exec/jit"
+	"repro/internal/exec/result"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// countAll sums and counts the "value" column against an explicit
+// catalog — the snapshot-scoped analogue of db.Query.
+func countAll(t *testing.T, cat *plan.Catalog) (cnt, sum int64) {
+	t.Helper()
+	res := jit.New().Run(plan.Aggregate{
+		Child: plan.Scan{Table: "events", Cols: []int{2}},
+		Aggs: []expr.AggSpec{
+			{Kind: expr.Count, Name: "n"},
+			{Kind: expr.Sum, Arg: expr.IntCol(0), Name: "total"},
+		},
+	}, cat)
+	return storage.DecodeInt(res.Rows[0][0]), storage.DecodeInt(res.Rows[0][1])
+}
+
+// TestSnapshotIsolation pins a snapshot, publishes a write transaction,
+// and asserts the pinned view is bit-stable while the published catalog
+// moved on.
+func TestSnapshotIsolation(t *testing.T) {
+	db, _ := buildDB(500)
+	snap := db.Snapshot()
+	defer snap.Release()
+	cnt0, sum0 := countAll(t, snap.Catalog())
+	if cnt0 != 500 {
+		t.Fatalf("snapshot sees %d rows, want 500", cnt0)
+	}
+	epoch0 := snap.Epoch()
+
+	tx := db.BeginWrite()
+	tx.Insert("events", [][]storage.Word{{
+		storage.EncodeInt(500), tx.Catalog().Table("events").Dicts[1].AppendCode("buy"),
+		storage.EncodeInt(7), storage.EncodeInt(0), storage.EncodeInt(0),
+	}})
+	if c, _ := countAll(t, snap.Catalog()); c != 500 {
+		t.Fatalf("uncommitted write visible to snapshot: %d rows", c)
+	}
+	if tx.Commit() != epoch0+1 {
+		t.Fatal("commit did not advance the epoch by one")
+	}
+
+	// The pinned snapshot still answers from its version ...
+	if c, s := countAll(t, snap.Catalog()); c != cnt0 || s != sum0 {
+		t.Fatalf("pinned snapshot drifted after commit: count %d->%d sum %d->%d", cnt0, c, sum0, s)
+	}
+	if snap.Epoch() != epoch0 {
+		t.Fatalf("pinned snapshot epoch changed: %d -> %d", epoch0, snap.Epoch())
+	}
+	// ... while the published catalog has the new row.
+	if c, s := countAll(t, db.Catalog()); c != 501 || s != sum0+7 {
+		t.Fatalf("published catalog: count %d sum %d, want %d/%d", c, s, 501, sum0+7)
+	}
+	if db.Epoch() != epoch0+1 {
+		t.Fatalf("published epoch %d, want %d", db.Epoch(), epoch0+1)
+	}
+}
+
+// TestAbandonedWriteTxn asserts a transaction that never commits leaves
+// no trace in the published catalog.
+func TestAbandonedWriteTxn(t *testing.T) {
+	db, _ := buildDB(100)
+	tx := db.BeginWrite()
+	tx.Insert("events", [][]storage.Word{{
+		storage.EncodeInt(100), tx.Catalog().Table("events").Dicts[1].AppendCode("view"),
+		storage.EncodeInt(1), storage.EncodeInt(0), storage.EncodeInt(0),
+	}})
+	tx = nil // abandoned: no Commit
+	if c, _ := countAll(t, db.Catalog()); c != 100 {
+		t.Fatalf("abandoned transaction leaked into published catalog: %d rows", c)
+	}
+	if db.Epoch() != 1 {
+		t.Fatalf("abandoned transaction advanced the epoch to %d", db.Epoch())
+	}
+}
+
+// TestSnapshotStableAcrossRelayout pins a snapshot, re-lays-out the
+// table through a write transaction, and asserts the pinned results are
+// row-identical before and after the publish — the relation the snapshot
+// references was cloned, not mutated.
+func TestSnapshotStableAcrossRelayout(t *testing.T) {
+	db, schema := buildDB(2000)
+	q := buyQuery(db, schema)
+	snap := db.Snapshot()
+	defer snap.Release()
+	before := jit.New().Run(q, snap.Catalog())
+
+	tx := db.BeginWrite()
+	tx.ApplyLayout("events", storage.DSM(schema.Width()))
+	tx.Commit()
+
+	after := jit.New().Run(q, snap.Catalog())
+	if !result.Equal(before, after) {
+		t.Fatal("pinned snapshot result changed across a committed relayout")
+	}
+	// The published catalog answers identically under the new layout.
+	pub := jit.New().Run(q, db.Catalog())
+	if !result.Equal(before, pub) {
+		t.Fatal("relayout changed query results")
+	}
+}
+
+// TestVersionReclamation drives commits with and without pinned readers
+// and asserts superseded versions are reclaimed exactly when their last
+// pin drops — the live-version count stays bounded.
+func TestVersionReclamation(t *testing.T) {
+	db, _ := buildDB(50)
+	row := func(tx *WriteTxn, id int64) [][]storage.Word {
+		return [][]storage.Word{{
+			storage.EncodeInt(id), tx.Catalog().Table("events").Dicts[1].AppendCode("click"),
+			storage.EncodeInt(1), storage.EncodeInt(0), storage.EncodeInt(0),
+		}}
+	}
+
+	// No readers: every commit reclaims its predecessor immediately.
+	for i := 0; i < 5; i++ {
+		tx := db.BeginWrite()
+		tx.Insert("events", row(tx, int64(100+i)))
+		tx.Commit()
+		if lv := db.LiveVersions(); lv != 1 {
+			t.Fatalf("commit %d with no readers: %d live versions, want 1", i, lv)
+		}
+	}
+	if db.VersionsReclaimed() != 5 {
+		t.Fatalf("reclaimed %d versions, want 5", db.VersionsReclaimed())
+	}
+
+	// A pinned reader holds exactly its own version alive across commits.
+	snap := db.Snapshot()
+	for i := 0; i < 3; i++ {
+		tx := db.BeginWrite()
+		tx.Insert("events", row(tx, int64(200+i)))
+		tx.Commit()
+	}
+	if lv := db.LiveVersions(); lv != 2 {
+		t.Fatalf("one pinned reader across 3 commits: %d live versions, want 2 (published + pinned)", lv)
+	}
+	if got := db.ActiveSnapshots(); got != 1 {
+		t.Fatalf("ActiveSnapshots = %d, want 1", got)
+	}
+	snap.Release()
+	if lv := db.LiveVersions(); lv != 1 {
+		t.Fatalf("after release: %d live versions, want 1", lv)
+	}
+	if got := db.ActiveSnapshots(); got != 0 {
+		t.Fatalf("ActiveSnapshots after release = %d, want 0", got)
+	}
+	snap.Release() // idempotent
+	if got := db.ActiveSnapshots(); got != 0 {
+		t.Fatalf("double release corrupted the pin count: %d", got)
+	}
+}
+
+// TestSnapshotRaceWithCommits hammers Snapshot/Release against a
+// committing writer under -race: every pinned view must satisfy the
+// prefix invariant (values 0..cnt-1 inserted in order, so sum ==
+// cnt*(cnt-1)/2), and all retired versions must drain once readers stop.
+func TestSnapshotRaceWithCommits(t *testing.T) {
+	db := Open()
+	b := storage.NewBuilder(storage.NewSchema("events",
+		storage.Attribute{Name: "id", Type: storage.Int64},
+		storage.Attribute{Name: "pad", Type: storage.Int64},
+		storage.Attribute{Name: "value", Type: storage.Int64},
+	))
+	b.SetInts(0, nil).SetInts(1, nil).SetInts(2, nil)
+	db.CreateTable(b)
+
+	const commits = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			tx := db.BeginWrite()
+			tx.Insert("events", [][]storage.Word{{
+				storage.EncodeInt(int64(i)), storage.EncodeInt(0), storage.EncodeInt(int64(i)),
+			}})
+			tx.Commit()
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				snap := db.Snapshot()
+				cnt, sum := countAll(t, snap.Catalog())
+				if want := cnt * (cnt - 1) / 2; sum != want {
+					t.Errorf("torn snapshot: %d rows sum %d, want %d", cnt, sum, want)
+				}
+				snap.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if c, _ := countAll(t, db.Catalog()); c != commits {
+		t.Fatalf("final count %d, want %d", c, commits)
+	}
+	if lv := db.LiveVersions(); lv != 1 {
+		t.Fatalf("readers drained but %d versions live, want 1", lv)
+	}
+}

@@ -143,6 +143,7 @@ func ByID(id string) func(Options) *Report {
 		"repl":            Repl,
 		"obs":             Obs,
 		"workload":        WorkloadExp,
+		"mvcc":            MVCC,
 	}
 	return m[id]
 }
@@ -152,7 +153,7 @@ func IDs() []string {
 	ids := []string{
 		"fig3", "fig6", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5",
 		"ablation-costfn", "ablation-cuts", "ablation-sparse", "ingest", "breakers", "repl", "obs",
-		"workload",
+		"workload", "mvcc",
 	}
 	sort.Strings(ids)
 	return ids

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/service"
+	"repro/internal/storage"
+)
+
+// MVCC measures what snapshot isolation costs and buys (not a paper
+// figure — the paper's engines are single-user; this prices the
+// concurrency layer around them): the snapshot pin/release a reader
+// pays per query, the copy-on-write commit a writer pays per batch,
+// and the headline comparison — closed-loop reader throughput with no
+// writer vs with a background writer publishing versions the whole
+// time. Lock-free reads should keep the two within noise; the old
+// catalog RWMutex would have stalled every reader behind each commit.
+func MVCC(opt Options) *Report {
+	rows := 200_000
+	requests := 2000
+	repeats := 200
+	if opt.Quick {
+		rows = 50_000
+		requests = 300
+		repeats = 50
+	}
+
+	rep := &Report{
+		ID:     "mvcc",
+		Title:  "MVCC snapshots: pin cost, commit cost, reads vs concurrent writer",
+		Header: []string{"stage", "value", "note"},
+	}
+
+	db := service.NewDemoDB(rows)
+	svc := service.New(db, service.Config{Workers: opt.Workers, MaxInFlight: 32})
+	defer svc.Close()
+	if _, err := svc.Load(service.LoadSpec{Table: "w", Format: "csv", CreateSpec: "v:int64"},
+		strings.NewReader("")); err != nil {
+		panic(err)
+	}
+	queries := []plan.Node{
+		service.DemoQuery(0.0001),
+		service.DemoQuery(0.01),
+		service.DemoQuery(0.1),
+	}
+
+	// The per-query MVCC admission price: pin the current version,
+	// release it. This replaced RLock/RUnlock on the catalog mutex.
+	pin := medianTime(repeats, func() {
+		for i := 0; i < 1000; i++ {
+			db.Snapshot().Release()
+		}
+	}) / 1000
+	rep.Rows = append(rep.Rows,
+		[]string{"snapshot/pin+release", fmtDur(pin), "per read admission (atomic load + pin CAS)"})
+
+	// The writer's price: one 64-row batch through the service write
+	// path — copy-on-write of the touched relation, atomic publish,
+	// reclaim of the superseded version.
+	batch := make([][]storage.Word, 64)
+	for i := range batch {
+		batch[i] = []storage.Word{storage.EncodeInt(int64(i))}
+	}
+	commit := medianTime(repeats, func() {
+		if _, err := svc.Query(plan.Insert{Table: "w", Rows: batch}); err != nil {
+			panic(err)
+		}
+	})
+	rep.Rows = append(rep.Rows,
+		[]string{"txn/commit-publish", fmtDur(commit), "64-row insert: COW clone + atomic swap"})
+
+	// Headline: reader throughput alone, then with a paced background
+	// writer committing versions throughout the run.
+	g := service.LoadGen{Clients: 4, Requests: requests, Queries: queries}
+	quiet := g.Run(svc)
+	if quiet.Errors > 0 {
+		panic(fmt.Sprintf("mvcc experiment: %d/%d quiet reads failed", quiet.Errors, quiet.Requests))
+	}
+
+	stop := make(chan struct{})
+	var commits atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Query(plan.Insert{Table: "w", Rows: batch}); err != nil {
+				panic(err)
+			}
+			commits.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	contended := g.Run(svc)
+	close(stop)
+	wg.Wait()
+	if contended.Errors > 0 {
+		panic(fmt.Sprintf("mvcc experiment: %d/%d contended reads failed", contended.Errors, contended.Requests))
+	}
+	ratio := quiet.QPS / contended.QPS
+	rep.Rows = append(rep.Rows,
+		[]string{"read/no-writer", fmt.Sprintf("%.0f qps", quiet.QPS),
+			fmt.Sprintf("%d reads, 4 clients", quiet.Requests)},
+		[]string{"read/with-writer", fmt.Sprintf("%.0f qps", contended.QPS),
+			fmt.Sprintf("%.0f commits/s concurrent, no-writer/with-writer = %.2fx", float64(commits.Load())/contended.Elapsed.Seconds(), ratio)},
+	)
+
+	st := svc.Stats()
+	rep.Rows = append(rep.Rows,
+		[]string{"versions/after-drain", fmt.Sprintf("%d live", st.LiveVersions),
+			fmt.Sprintf("epoch %d, %d superseded versions reclaimed", st.Epoch, st.VersionsReclaimed)})
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("demo table R with %d rows; writer commits 64-row batches into a side table at ~100us pace", rows),
+		"readers run lock-free against pinned immutable versions; writers serialize on one commit mutex",
+		"acceptance: with-writer reader qps within 2x of no-writer (ratio above)",
+	)
+	if st.LiveVersions != 1 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("WARNING: %d versions still live after drain", st.LiveVersions))
+	}
+	if n := workersNote(opt); n != "" {
+		rep.Notes = append(rep.Notes, n)
+	}
+	return rep
+}

@@ -77,5 +77,11 @@ func (h *HashIndex) Lookup(key storage.Word, dst []int32) []int32 {
 // Len returns the number of entries.
 func (h *HashIndex) Len() int { return h.n }
 
+// Clone copies the slot array; the copy grows and accepts inserts
+// independently of the original.
+func (h *HashIndex) Clone() Index {
+	return &HashIndex{slots: append([]hashSlot(nil), h.slots...), mask: h.mask, n: h.n}
+}
+
 // Kind returns "hash".
 func (h *HashIndex) Kind() string { return "hash" }

@@ -18,6 +18,11 @@ type Index interface {
 	Len() int
 	// Kind names the structure ("hash" or "rbtree").
 	Kind() string
+	// Clone returns an independent copy: inserts into the clone never
+	// become visible through the original. The MVCC write path clones the
+	// indexes of every table it touches, so readers of a pinned catalog
+	// version keep probing an immutable structure.
+	Clone() Index
 }
 
 // BuildOn constructs an index over an existing relation attribute.

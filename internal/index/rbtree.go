@@ -33,6 +33,28 @@ func (t *RBTree) Len() int { return t.n }
 // Kind returns "rbtree".
 func (t *RBTree) Kind() string { return "rbtree" }
 
+// Clone deep-copies the tree, including the per-key row lists (Insert
+// appends to them in place, so sharing their backing arrays would leak
+// writes into the original).
+func (t *RBTree) Clone() Index {
+	var cp func(n, parent *rbNode) *rbNode
+	cp = func(n, parent *rbNode) *rbNode {
+		if n == nil {
+			return nil
+		}
+		out := &rbNode{
+			key:    n.key,
+			rows:   append([]int32(nil), n.rows...),
+			color:  n.color,
+			parent: parent,
+		}
+		out.left = cp(n.left, out)
+		out.right = cp(n.right, out)
+		return out
+	}
+	return &RBTree{root: cp(t.root, nil), n: t.n}
+}
+
 // Insert registers row under key.
 func (t *RBTree) Insert(key storage.Word, row int32) {
 	t.n++

@@ -17,6 +17,12 @@ import "sync/atomic"
 type QueryTrace struct {
 	workers int
 	ops     []*OpTrace
+
+	// Epoch is the MVCC catalog version the query executed against —
+	// the service fills it when it pins the snapshot, and EXPLAIN
+	// ANALYZE surfaces it so a result can be tied to the exact version
+	// that produced it.
+	Epoch uint64
 }
 
 // OpProto is the compile-time descriptor of one operator: its kind, a

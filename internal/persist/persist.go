@@ -42,6 +42,11 @@ import (
 const (
 	snapshotFile = "snapshot.db"
 	walFile      = "wal.log"
+	// walNewFile is the successor WAL a concurrent checkpoint stages: the
+	// next epoch's header plus every mutation record committed after the
+	// checkpoint pinned its snapshot. It is renamed over wal.log as the
+	// final step; Open completes the rotation if a crash interrupted it.
+	walNewFile = "wal.new"
 )
 
 // Options configures a Manager.
@@ -56,11 +61,13 @@ type Options struct {
 }
 
 // Manager owns the durability state of one database: the WAL append side
-// and the checkpoint procedure. The caller is responsible for mutual
-// exclusion between loggers and Checkpoint — the service layer provides
-// it with its catalog RWMutex (loggers run under the write lock,
-// Checkpoint under the read lock, which excludes writers while queries
-// keep running).
+// and the checkpoint procedure. Loggers serialize on the internal mutex;
+// the service layer additionally serializes loggers against each other
+// with its commit mutex so WAL order matches publication order. A
+// checkpoint needs no exclusion at all: BeginCheckpoint notes the
+// committed WAL position while the caller pins an MVCC snapshot, the
+// snapshot serializes without any lock, and CheckpointFrom preserves the
+// records committed in the meantime as the new WAL's suffix.
 type Manager struct {
 	dir   string
 	fsync bool
@@ -112,8 +119,9 @@ func Open(opts Options) (*core.DB, *Manager, error) {
 	}
 	snapPath := filepath.Join(opts.Dir, snapshotFile)
 	walPath := filepath.Join(opts.Dir, walFile)
+	newPath := filepath.Join(opts.Dir, walNewFile)
 	if opts.Fresh {
-		for _, p := range []string{snapPath, walPath} {
+		for _, p := range []string{snapPath, walPath, newPath} {
 			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 				return nil, nil, err
 			}
@@ -130,6 +138,9 @@ func Open(opts Options) (*core.DB, *Manager, error) {
 		}
 		db, epoch = restored, snapEpoch
 	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	if err := completeRotation(walPath, newPath, epoch); err != nil {
 		return nil, nil, err
 	}
 	applied, err := replayWAL(walPath, db, epoch)
@@ -302,17 +313,46 @@ type CheckpointInfo struct {
 	WALBytes      int64 // WAL bytes made redundant and dropped
 }
 
-// Checkpoint writes a snapshot of db's full catalog and resets the WAL.
-// The caller must hold a lock that excludes mutations (the service's
-// catalog read lock suffices: queries share it, writers are excluded).
-//
-// Crash safety: the snapshot is written to a temp file, fsync'd and
-// atomically renamed (followed by a directory fsync in fsync mode, so
-// the rename itself is durable before the WAL is touched); it carries
-// the next epoch, so if the process dies between the rename and the WAL
-// reset, recovery sees a lower-epoch WAL and discards it instead of
-// replaying records the snapshot already contains.
+// Checkpoint writes a snapshot of db's full catalog and rotates the WAL.
+// It is the serial convenience form — the caller guarantees no mutations
+// run concurrently. The concurrent path is BeginCheckpoint + a pinned
+// core.Snapshot + CheckpointFrom, which the service layer uses so a slow
+// snapshot never stalls writers.
 func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
+	pos, err := m.BeginCheckpoint()
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return m.CheckpointFrom(db.Catalog(), pos)
+}
+
+// BeginCheckpoint flushes any coalesced pending batch and returns the
+// committed WAL position the checkpoint covers. The caller must pin the
+// catalog snapshot it will serialize while holding the same exclusion it
+// applies to loggers (the service's commit mutex), so the returned
+// position and the pinned state agree: everything at or below it is in
+// the snapshot, everything after it is not.
+func (m *Manager) BeginCheckpoint() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.flushPendingLocked(); err != nil {
+		return 0, err
+	}
+	return m.committed, nil
+}
+
+// CheckpointFrom serializes cat — a catalog pinned at WAL position pos —
+// with no lock held, then rotates the WAL while preserving every record
+// committed after pos as the suffix of the next epoch's log.
+//
+// Crash safety: the snapshot is staged to a temp file and the successor
+// WAL to wal.new, both fsync'd before either rename (in fsync mode, with
+// directory fsyncs after each). The snapshot rename happens first; Open
+// repairs every interruption: before the snapshot rename the old
+// snapshot + old WAL are intact (a stale wal.new is removed), between
+// the renames the new snapshot pairs with wal.new (Open finishes the
+// rotation), and after both the state is simply the result.
+func (m *Manager) CheckpointFrom(cat *plan.Catalog, pos int64) (CheckpointInfo, error) {
 	if err := faultinject.Hit("persist/checkpoint"); err != nil {
 		return CheckpointInfo{}, err
 	}
@@ -322,7 +362,7 @@ func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	defer os.Remove(tmp.Name()) // no-op after the rename
-	n, err := WriteSnapshot(tmp, db, next)
+	n, err := WriteCatalogSnapshot(tmp, cat, next)
 	if err == nil {
 		err = tmp.Sync()
 	}
@@ -332,37 +372,169 @@ func (m *Manager) Checkpoint(db *core.DB) (CheckpointInfo, error) {
 	if err != nil {
 		return CheckpointInfo{}, fmt.Errorf("persist: writing snapshot: %w", err)
 	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Coalesced rows still pending were applied in memory after the pin,
+	// so the snapshot does NOT contain them — flush them into the suffix.
+	if err := m.flushPendingLocked(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	suffix, records, err := m.suffixRecordsLocked(pos)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	newPath := filepath.Join(m.dir, walNewFile)
+	if err := m.stageSuccessorWAL(newPath, next, suffix); err != nil {
+		return CheckpointInfo{}, err
+	}
 	if err := os.Rename(tmp.Name(), filepath.Join(m.dir, snapshotFile)); err != nil {
 		return CheckpointInfo{}, err
 	}
 	if m.fsync {
-		// Persist the rename's directory entry before dropping the WAL,
-		// or a power loss could keep the truncation but lose the rename.
+		// Persist the snapshot rename's directory entry before publishing
+		// the successor WAL, or a power loss could pair the old snapshot
+		// with the new (shorter) log.
 		if err := syncDir(m.dir); err != nil {
 			return CheckpointInfo{}, fmt.Errorf("persist: syncing data dir: %w", err)
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	dropped := m.w.size
-	// Coalesced rows still pending are already applied in memory, so the
-	// snapshot just written contains them: drop them instead of flushing
-	// a record the snapshot would duplicate.
-	m.dropPendingLocked()
-	if err := m.w.reset(); err != nil {
-		return CheckpointInfo{}, fmt.Errorf("persist: resetting WAL: %w", err)
+	if err := os.Rename(newPath, filepath.Join(m.dir, walFile)); err != nil {
+		return CheckpointInfo{}, err
 	}
-	// The new epoch is stamped lazily by the next commit; an empty WAL
-	// needs no header (recovery of snapshot + empty WAL is trivially
-	// consistent).
+	if m.fsync {
+		if err := syncDir(m.dir); err != nil {
+			return CheckpointInfo{}, fmt.Errorf("persist: syncing data dir: %w", err)
+		}
+	}
+	// The renames changed the wal.log inode: reopen both file handles.
+	if err := m.reopenWALLocked(); err != nil {
+		return CheckpointInfo{}, err
+	}
 	m.epoch = next
 	m.checkpoints++
-	m.committed = 0
-	m.records = 0
-	// Wake parked tails so followers of the discarded epoch learn about
-	// the rotation immediately instead of at their poll timeout.
+	m.committed = m.w.size
+	m.records = records
+	// Wake parked tails so followers of the rotated epoch learn about it
+	// immediately instead of at their poll timeout.
 	m.wakeLocked()
-	return CheckpointInfo{SnapshotBytes: n, WALBytes: dropped}, nil
+	return CheckpointInfo{SnapshotBytes: n, WALBytes: pos}, nil
+}
+
+// suffixRecordsLocked reads the committed WAL bytes after pos and returns
+// the mutation-record bodies they frame (skipping the leading epoch
+// record when pos is 0) plus their count.
+func (m *Manager) suffixRecordsLocked(pos int64) ([][]byte, int64, error) {
+	if pos < 0 || pos > m.committed {
+		return nil, 0, fmt.Errorf("persist: checkpoint position %d outside committed prefix %d", pos, m.committed)
+	}
+	if pos == m.committed {
+		return nil, 0, nil
+	}
+	buf := make([]byte, m.committed-pos)
+	if _, err := m.reader.ReadAt(buf, pos); err != nil {
+		return nil, 0, fmt.Errorf("persist: reading WAL suffix at offset %d: %w", pos, err)
+	}
+	var bodies [][]byte
+	var count int64
+	off := 0
+	for off < len(buf) {
+		body, fn, err := ParseFrame(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if fn == 0 {
+			return nil, 0, fmt.Errorf("%w: torn frame inside committed prefix at offset %d", ErrWALCorrupt, pos+int64(off))
+		}
+		if _, isEpoch := EpochRecord(body); !isEpoch {
+			bodies = append(bodies, body)
+			count++
+		}
+		off += fn
+	}
+	return bodies, count, nil
+}
+
+// stageSuccessorWAL writes the next epoch's WAL to path: empty when there
+// is no suffix (the epoch header is stamped lazily by the first commit,
+// like any fresh WAL), otherwise the epoch record followed by the suffix
+// bodies, re-framed.
+func (m *Manager) stageSuccessorWAL(path string, epoch uint64, bodies [][]byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if len(bodies) > 0 {
+		buf := appendFrame(nil, walEpochBody(epoch))
+		for _, body := range bodies {
+			buf = appendFrame(buf, body)
+		}
+		_, werr = f.Write(buf)
+	}
+	if werr == nil && m.fsync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return fmt.Errorf("persist: staging successor WAL: %w", werr)
+	}
+	return nil
+}
+
+// reopenWALLocked reopens the append and read sides of wal.log after a
+// rotation replaced the inode.
+func (m *Manager) reopenWALLocked() error {
+	walPath := filepath.Join(m.dir, walFile)
+	if err := m.w.close(); err != nil {
+		return fmt.Errorf("persist: closing rotated WAL: %w", err)
+	}
+	w, err := openWAL(walPath, m.fsync)
+	if err != nil {
+		return fmt.Errorf("persist: reopening WAL: %w", err)
+	}
+	reader, err := os.Open(walPath)
+	if err != nil {
+		w.close()
+		return fmt.Errorf("persist: reopening WAL reader: %w", err)
+	}
+	m.reader.Close()
+	m.w, m.reader = w, reader
+	return nil
+}
+
+// completeRotation repairs a checkpoint that crashed between staging
+// wal.new and renaming it over wal.log. If wal.log already continues the
+// restored snapshot (same epoch), the sidecar is a leftover from a
+// checkpoint that never published its snapshot — remove it. Otherwise,
+// if the sidecar matches the snapshot epoch (or is empty, the staged
+// form of a suffix-free rotation), the snapshot rename did happen and
+// the sidecar is the correct log — finish the rename. Anything else is a
+// stray file; remove it and let replayWAL's epoch rules decide.
+func completeRotation(walPath, newPath string, snapEpoch uint64) error {
+	if _, err := os.Stat(newPath); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return err
+	}
+	logEpoch, logOK, err := firstEpoch(walPath)
+	if err != nil {
+		return err
+	}
+	if logOK && logEpoch == snapEpoch {
+		return os.Remove(newPath)
+	}
+	newEpoch, newOK, err := firstEpoch(newPath)
+	if err != nil {
+		return err
+	}
+	if !newOK || newEpoch == snapEpoch {
+		return os.Rename(newPath, walPath)
+	}
+	return os.Remove(newPath)
 }
 
 // SnapshotPath returns the path of the checkpoint snapshot inside the

@@ -94,18 +94,23 @@ func SnapTable(c *plan.Catalog, name string) *TableSnap {
 
 // Restore materializes the snapshot into a relation and registers it and
 // its indexes on db.
-func (t *TableSnap) Restore(db *core.DB) error {
+func (t *TableSnap) Restore(db *core.DB) error { return t.RestoreTo(db) }
+
+// RestoreTo materializes the snapshot into a relation and registers it
+// and its indexes on any replay target (a core.DB in place, or a
+// core.WriteTxn building the next MVCC version).
+func (t *TableSnap) RestoreTo(dst Target) error {
 	rel, err := storage.RestoreRelation(t.Schema, t.Layout, t.Parts, t.Dicts, t.Rows)
 	if err != nil {
 		return err
 	}
-	db.AddTable(rel)
+	dst.AddTable(rel)
 	for _, def := range t.Indexes {
 		switch def.Kind {
 		case "hash":
-			db.CreateHashIndex(t.Schema.Name, def.Attr)
+			dst.CreateHashIndex(t.Schema.Name, def.Attr)
 		case "rbtree":
-			db.CreateTreeIndex(t.Schema.Name, def.Attr)
+			dst.CreateTreeIndex(t.Schema.Name, def.Attr)
 		default:
 			return fmt.Errorf("%w: unknown index kind %q on %s", ErrCorrupt, def.Kind, t.Schema.Name)
 		}
@@ -116,7 +121,15 @@ func (t *TableSnap) Restore(db *core.DB) error {
 // WriteSnapshot serializes every catalog table of db to w, stamped with
 // the given checkpoint epoch, and returns the byte count written.
 func WriteSnapshot(w io.Writer, db *core.DB, epoch uint64) (int64, error) {
-	names := db.Catalog().Names()
+	return WriteCatalogSnapshot(w, db.Catalog(), epoch)
+}
+
+// WriteCatalogSnapshot serializes every table of a catalog to w — the
+// checkpoint path hands it a pinned MVCC snapshot's catalog, so the
+// entire serialization runs without any lock while writers keep
+// publishing new versions.
+func WriteCatalogSnapshot(w io.Writer, c *plan.Catalog, epoch uint64) (int64, error) {
+	names := c.Names()
 	var hdr [24]byte
 	copy(hdr[:8], snapMagic[:])
 	binary.LittleEndian.PutUint32(hdr[8:12], snapVersion)
@@ -129,7 +142,7 @@ func WriteSnapshot(w io.Writer, db *core.DB, epoch uint64) (int64, error) {
 		return written, err
 	}
 	for _, name := range names {
-		payload := encodeTable(SnapTable(db.Catalog(), name))
+		payload := encodeTable(SnapTable(c, name))
 		var sec [12]byte
 		binary.LittleEndian.PutUint64(sec[:8], uint64(len(payload)))
 		binary.LittleEndian.PutUint32(sec[8:12], crc32.ChecksumIEEE(payload))

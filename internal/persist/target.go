@@ -1,0 +1,29 @@
+package persist
+
+import (
+	"repro/internal/core"
+	"repro/internal/exec/result"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Target is the destination of record replay: the small mutation surface
+// that WAL records and snapshot sections drive. Two implementations
+// exist — *core.DB applies in place (local recovery, where the database
+// is private to the opener), and *core.WriteTxn applies copy-on-write
+// into the next MVCC version (replica catch-up, where concurrent readers
+// must never observe a half-applied chunk).
+type Target interface {
+	Catalog() *plan.Catalog
+	AddTable(rel *storage.Relation)
+	Insert(table string, rows [][]storage.Word) *result.Set
+	ApplyLayout(table string, l storage.Layout)
+	CreateHashIndex(table string, attr int)
+	CreateTreeIndex(table string, attr int)
+	DictAppend(table string, attr int, values []string)
+}
+
+var (
+	_ Target = (*core.DB)(nil)
+	_ Target = (*core.WriteTxn)(nil)
+)

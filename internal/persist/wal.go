@@ -10,9 +10,7 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/faultinject"
-	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
@@ -142,6 +140,46 @@ func (w *wal) close() error {
 		err = cerr
 	}
 	return err
+}
+
+// appendFrame appends one CRC-framed record to buf — the same framing
+// wal.append writes, for staging a successor WAL outside the live file.
+func appendFrame(buf, body []byte) []byte {
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	return append(append(buf, frame[:]...), body...)
+}
+
+// firstEpoch reads the leading epoch record of a WAL file. ok is false
+// when the file is missing, empty, torn, or does not start with a valid
+// epoch record — states where the log carries no identifiable epoch.
+func firstEpoch(path string) (epoch uint64, ok bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, false, nil
+	}
+	blen := binary.LittleEndian.Uint32(hdr[:4])
+	if blen > 64 {
+		return 0, false, nil // epoch records are a dozen bytes at most
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(f, body); err != nil {
+		return 0, false, nil
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return 0, false, nil
+	}
+	e, isEpoch := EpochRecord(body)
+	return e, isEpoch, nil
 }
 
 // Record body builders.
@@ -291,11 +329,17 @@ func decodeEpochRecord(body []byte) (uint64, error) {
 	return d.uvarint()
 }
 
-// ApplyRecord replays one decoded record body against db. Local recovery
-// and replication followers share it: a replica applying shipped records
-// through this path reconstructs the primary's physical design (layouts,
-// dictionary codes, index definitions) bit-identically.
-func ApplyRecord(db *core.DB, body []byte) error {
+// ApplyRecord replays one decoded record body against db in place — the
+// local recovery path, where the database is private to the opener.
+func ApplyRecord(db *core.DB, body []byte) error { return ApplyRecordTo(db, body) }
+
+// ApplyRecordTo replays one decoded record body against any replay
+// target. Local recovery and replication followers share it: a replica
+// applying shipped records through this path (into a core.WriteTxn, so
+// its readers never see a half-applied chunk) reconstructs the primary's
+// physical design — layouts, dictionary codes, index definitions —
+// bit-identically.
+func ApplyRecordTo(dst Target, body []byte) error {
 	if len(body) == 0 {
 		return fmt.Errorf("%w: empty body", ErrWALCorrupt)
 	}
@@ -318,10 +362,10 @@ func ApplyRecord(db *core.DB, body []byte) error {
 		if len(d.buf)-d.off != 8*width*n {
 			return fmt.Errorf("%w: insert holds %d bytes, want %d", ErrWALCorrupt, len(d.buf)-d.off, 8*width*n)
 		}
-		if !db.Catalog().Has(table) {
+		if !dst.Catalog().Has(table) {
 			return fmt.Errorf("%w: insert into unknown table %q", ErrWALCorrupt, table)
 		}
-		if w := db.Catalog().Table(table).Schema.Width(); w != width {
+		if w := dst.Catalog().Table(table).Schema.Width(); w != width {
 			return fmt.Errorf("%w: insert width %d into width-%d table %q", ErrWALCorrupt, width, w, table)
 		}
 		rows := make([][]storage.Word, n)
@@ -333,14 +377,14 @@ func ApplyRecord(db *core.DB, body []byte) error {
 			}
 			rows[i] = row
 		}
-		exec.RunInsert(plan.Insert{Table: table, Rows: rows}, db.Catalog())
+		dst.Insert(table, rows)
 		return nil
 	case walCreateTable:
 		t, err := decodeTable(payload)
 		if err != nil {
 			return err
 		}
-		return t.Restore(db)
+		return t.RestoreTo(dst)
 	case walRelayout:
 		d := &dec{buf: payload}
 		table, err := d.str()
@@ -367,13 +411,13 @@ func ApplyRecord(db *core.DB, body []byte) error {
 			}
 			l.Groups[gi] = g
 		}
-		if !db.Catalog().Has(table) {
+		if !dst.Catalog().Has(table) {
 			return fmt.Errorf("%w: relayout of unknown table %q", ErrWALCorrupt, table)
 		}
-		if err := l.Validate(db.Catalog().Table(table).Schema.Width()); err != nil {
+		if err := l.Validate(dst.Catalog().Table(table).Schema.Width()); err != nil {
 			return fmt.Errorf("%w: %v", ErrWALCorrupt, err)
 		}
-		db.ApplyLayout(table, l)
+		dst.ApplyLayout(table, l)
 		return nil
 	case walDictAppend:
 		d := &dec{buf: payload}
@@ -389,25 +433,20 @@ func ApplyRecord(db *core.DB, body []byte) error {
 		if err != nil {
 			return err
 		}
-		if !db.Catalog().Has(table) {
+		if !dst.Catalog().Has(table) {
 			return fmt.Errorf("%w: dict append to unknown table %q", ErrWALCorrupt, table)
 		}
-		rel := db.Catalog().Table(table)
+		rel := dst.Catalog().Table(table)
 		if attr >= rel.Schema.Width() || rel.Schema.Attrs[attr].Type != storage.String {
 			return fmt.Errorf("%w: dict append to non-string attribute %d of %q", ErrWALCorrupt, attr, table)
 		}
-		dict := rel.Dicts[attr]
-		if dict == nil {
-			dict = storage.BuildDict(nil)
-			rel.Dicts[attr] = dict
-		}
-		for i := 0; i < n; i++ {
-			v, err := d.str()
-			if err != nil {
+		values := make([]string, n)
+		for i := range values {
+			if values[i], err = d.str(); err != nil {
 				return err
 			}
-			dict.AppendCode(v)
 		}
+		dst.DictAppend(table, attr, values)
 		return nil
 	case walCreateIndex:
 		d := &dec{buf: payload}
@@ -423,17 +462,17 @@ func ApplyRecord(db *core.DB, body []byte) error {
 		if err != nil {
 			return err
 		}
-		if !db.Catalog().Has(table) {
+		if !dst.Catalog().Has(table) {
 			return fmt.Errorf("%w: index on unknown table %q", ErrWALCorrupt, table)
 		}
-		if attr >= db.Catalog().Table(table).Schema.Width() {
+		if attr >= dst.Catalog().Table(table).Schema.Width() {
 			return fmt.Errorf("%w: index on attribute %d of table %q", ErrWALCorrupt, attr, table)
 		}
 		switch kind {
 		case "hash":
-			db.CreateHashIndex(table, attr)
+			dst.CreateHashIndex(table, attr)
 		case "rbtree":
-			db.CreateTreeIndex(table, attr)
+			dst.CreateTreeIndex(table, attr)
 		default:
 			return fmt.Errorf("%w: unknown index kind %q", ErrWALCorrupt, kind)
 		}

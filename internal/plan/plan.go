@@ -64,6 +64,29 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
+// Clone returns a shallow copy of the catalog for the MVCC write path:
+// fresh maps, shared relation and index structures. A write transaction
+// clones the catalog once, then swaps in copy-on-write relations and
+// cloned indexes for only the tables it touches, leaving every untouched
+// entry shared with the published version.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		tables:  make(map[string]*storage.Relation, len(c.tables)),
+		indexes: make(map[string]map[int]index.Index, len(c.indexes)),
+	}
+	for name, rel := range c.tables {
+		out.tables[name] = rel
+	}
+	for table, m := range c.indexes {
+		mm := make(map[int]index.Index, len(m))
+		for attr, idx := range m {
+			mm[attr] = idx
+		}
+		out.indexes[table] = mm
+	}
+	return out
+}
+
 // AddIndex registers an index over table.attr.
 func (c *Catalog) AddIndex(table string, attr int, idx index.Index) {
 	if c.indexes[table] == nil {

@@ -54,8 +54,8 @@ type AdvisorReport struct {
 
 // Advise converts the captured shape frequencies into the optimizer's
 // workload-declaration form and prices every touched table's current
-// layout against the BPi optimum for the live mix, under the catalog
-// read lock. It also refreshes the per-table drift gauges and logs a
+// layout against the BPi optimum for the live mix, against a pinned
+// snapshot. It also refreshes the per-table drift gauges and logs a
 // warning for tables whose drift crosses the configured threshold.
 func (s *DB) Advise() AdvisorReport {
 	mix, execs := s.capture.Mix("captured")
@@ -63,9 +63,10 @@ func (s *DB) Advise() AdvisorReport {
 	if len(mix.Queries) == 0 {
 		return rep
 	}
-	s.catalogMu.RLock()
-	rep.Advice = advisor.Advise(s.db.Catalog(), s.db.Geometry(), mix)
-	s.catalogMu.RUnlock()
+	db := s.core()
+	snap := db.Snapshot()
+	rep.Advice = advisor.Advise(snap.Catalog(), db.Geometry(), mix)
+	snap.Release()
 	s.metrics.advisorRuns.Inc()
 	warn := s.driftWarnRatio()
 	for _, a := range rep.Advice {

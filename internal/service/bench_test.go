@@ -2,10 +2,15 @@ package service
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/exec/result"
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // BenchmarkServiceThroughput measures multi-client throughput on one
@@ -49,6 +54,68 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			}
 			b.ReportMetric(rep.QPS, "qps")
 			b.ReportMetric(float64(rep.Rows)/float64(rep.Requests), "rows/op")
+		})
+	}
+}
+
+// BenchmarkServiceThroughputWithWriter is BenchmarkServiceThroughput
+// with a background writer publishing MVCC versions the whole time: a
+// goroutine commits 64-row batches into a side table at a steady pace
+// while the closed-loop clients read. With snapshot reads the writer
+// costs readers only the version-pointer indirection — the acceptance
+// bar is reader qps within 2x of the no-writer run at the same client
+// count. The commits/s metric reports the concurrent write rate.
+func BenchmarkServiceThroughputWithWriter(b *testing.B) {
+	const rows = 200_000
+	queries := []plan.Node{
+		DemoQuery(0.0001),
+		DemoQuery(0.01),
+		DemoQuery(0.1),
+	}
+	s := New(NewDemoDB(rows), Config{Workers: 0, MaxInFlight: 32})
+	defer s.Close()
+	if _, err := s.Load(LoadSpec{Table: "w", Format: "csv", CreateSpec: "v:int64"},
+		strings.NewReader("")); err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]storage.Word, 64)
+	for i := range batch {
+		batch[i] = []storage.Word{storage.EncodeInt(int64(i))}
+	}
+
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			stop := make(chan struct{})
+			var commits atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := s.Query(plan.Insert{Table: "w", Rows: batch}); err != nil {
+						b.Error(err)
+						return
+					}
+					commits.Add(1)
+					time.Sleep(100 * time.Microsecond)
+				}
+			}()
+			g := LoadGen{Clients: clients, Requests: b.N, Queries: queries}
+			b.ResetTimer()
+			rep := g.Run(s)
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if rep.Errors > 0 {
+				b.Fatalf("%d/%d requests failed", rep.Errors, rep.Requests)
+			}
+			b.ReportMetric(rep.QPS, "qps")
+			b.ReportMetric(float64(commits.Load())/rep.Elapsed.Seconds(), "commits/s")
 		})
 	}
 }

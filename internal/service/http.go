@@ -103,6 +103,9 @@ type resultJSON struct {
 	RowCount int            `json:"rowCount"`
 	Micros   int64          `json:"micros"`
 	Trace    []obs.OpReport `json:"trace,omitempty"`
+	// Epoch is the MVCC catalog version the query executed against
+	// (EXPLAIN ANALYZE only — set alongside Trace).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 type errorJSON struct {
@@ -133,6 +136,7 @@ func (s *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out := encodeResult(res, time.Since(start))
 	if tr != nil {
 		out.Trace = tr.Report()
+		out.Epoch = tr.Epoch
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -5,21 +5,21 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/exec"
 	"repro/internal/persist"
-	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
 // Bulk ingestion: the streaming counterpart of plan.Insert. Rows arrive
-// as CSV or NDJSON, are parsed outside the catalog lock, and enter the
-// table batch-by-batch under the write lock — dictionary encoding,
-// index maintenance, plan-cache invalidation and WAL logging happen per
-// batch, so a gigabyte load never holds the catalog lock for more than
-// one batch and concurrent queries interleave with it.
+// as CSV or NDJSON, are parsed outside any lock, and enter the table
+// batch-by-batch: each batch is one MVCC commit — dictionary encoding,
+// WAL logging, copy-on-write insert and atomic publish under the commit
+// mutex — so a gigabyte load publishes one version per batch, concurrent
+// queries run lock-free on whichever version they pinned, and only other
+// writers ever wait on a batch.
 
-// loadBatchRows is the ingest batch size: large enough to amortize lock
-// acquisition and WAL commit, small enough to bound lock hold time.
+// loadBatchRows is the ingest batch size: large enough to amortize
+// commit-mutex acquisition and WAL commit, small enough to bound how
+// long other writers wait.
 const loadBatchRows = 4096
 
 // LoadSpec describes one bulk load.
@@ -96,16 +96,19 @@ func (s *DB) Load(spec LoadSpec, r io.Reader) (LoadResult, error) {
 	return res, nil
 }
 
-// loadTarget resolves (or creates) the target relation under the write
-// lock.
+// loadTarget resolves (or creates) the target relation. A create is a
+// full MVCC commit: the table is WAL-logged from the transaction's
+// private catalog first, then published — a logging failure leaves the
+// catalog without the table, so the load is safe to retry.
 func (s *DB) loadTarget(spec LoadSpec) (*storage.Relation, bool, error) {
-	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
-	if s.db.Catalog().Has(spec.Table) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	cat := s.core().Catalog()
+	if cat.Has(spec.Table) {
 		if spec.CreateSpec != "" {
 			return nil, false, fmt.Errorf("service: table %q already exists, drop the create spec", spec.Table)
 		}
-		return s.db.Catalog().Table(spec.Table), false, nil
+		return cat.Table(spec.Table), false, nil
 	}
 	if spec.CreateSpec == "" {
 		return nil, false, fmt.Errorf("service: unknown table %q (pass a create spec to create it)", spec.Table)
@@ -124,27 +127,31 @@ func (s *DB) loadTarget(spec LoadSpec) (*storage.Relation, bool, error) {
 		return nil, false, fmt.Errorf("service: load layout %q (want row or column)", spec.Layout)
 	}
 	rel := storage.NewRelation(storage.NewSchema(spec.Table, attrs...), layout)
-	s.db.AddTable(rel)
-	s.invalidate()
+	tx := s.core().BeginWrite()
+	tx.AddTable(rel)
 	if m := s.mgr(); m != nil {
-		if err := m.LogCreateTable(s.db.Catalog(), spec.Table); err != nil {
+		if err := m.LogCreateTable(tx.Catalog(), spec.Table); err != nil {
 			s.stats.persistErrs.Add(1)
-			return nil, false, fmt.Errorf("%w: table created but not logged: %v", ErrDurability, err)
+			return nil, false, fmt.Errorf("%w: create not logged, table not created (safe to retry): %v", ErrDurability, err)
 		}
 	}
+	tx.Commit()
+	s.invalidate()
 	return rel, true, nil
 }
 
-// applyLoadBatch encodes and inserts one parsed batch under the write
-// lock: dictionary appends, index maintenance, cache invalidation and
-// WAL logging are a single critical section. The relation is re-resolved
-// per batch in case a concurrent /optimize swapped in a re-laid-out
-// sibling (dictionaries are shared between siblings, so codes stay
-// consistent either way).
+// applyLoadBatch encodes one parsed batch, WAL-logs it and commits it as
+// one MVCC version under the commit mutex. The relation is re-resolved
+// per batch in case a concurrent /optimize published a re-laid-out
+// sibling (dictionaries are shared between versions, so codes stay
+// consistent either way). Dictionary appends land in the shared,
+// append-only dictionaries before the publish — harmless to concurrent
+// readers, whose pinned rows only reference the pre-existing prefix.
 func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) error {
-	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
-	rel := s.db.Catalog().Table(table)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	tx := s.core().BeginWrite()
+	rel := tx.Catalog().Table(table)
 	// Remember dictionary sizes: values appended by this batch's encoding
 	// must be WAL-logged (insert records carry only codes).
 	preDict := make([]int, width)
@@ -172,13 +179,14 @@ func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) erro
 	if encErr != nil {
 		return encErr
 	}
-	exec.RunInsert(plan.Insert{Table: table, Rows: rows}, s.db.Catalog())
-	s.invalidate()
 	if m := s.mgr(); m != nil {
 		if err := m.LogInsert(table, width, rows); err != nil {
 			s.stats.persistErrs.Add(1)
-			return fmt.Errorf("%w: batch applied but not logged: %v", ErrDurability, err)
+			return fmt.Errorf("%w: batch not logged, rows not applied (resume from rowsApplied): %v", ErrDurability, err)
 		}
 	}
+	tx.Insert(table, rows)
+	tx.Commit()
+	s.invalidate()
 	return nil
 }

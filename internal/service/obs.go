@@ -91,6 +91,24 @@ func (s *DB) initMetrics() {
 		}
 	}
 
+	// MVCC surface: the published version, the pinned-reader gauge and
+	// the reclaim backlog. A backlog stuck above zero while snapshots
+	// are active is normal (readers pin superseded versions until they
+	// finish); stuck above zero with zero active snapshots would mean a
+	// reclamation leak.
+	r.GaugeFunc("db_snapshot_epoch",
+		"Currently published MVCC catalog version.", nil,
+		func() float64 { return float64(s.core().Epoch()) })
+	r.GaugeFunc("db_snapshots_active",
+		"Reader snapshots currently pinned.", nil,
+		func() float64 { return float64(s.core().ActiveSnapshots()) })
+	r.GaugeFunc("db_version_reclaim_backlog",
+		"Superseded catalog versions awaiting reader drain.", nil,
+		func() float64 { return float64(s.core().LiveVersions() - 1) })
+	counter("db_versions_reclaimed_total",
+		"Superseded catalog versions reclaimed after their last unpin.",
+		func() int64 { return s.core().VersionsReclaimed() })
+
 	m.ckptSeconds = r.Histogram("db_checkpoint_seconds",
 		"Checkpoint duration (snapshot write + WAL reset).", nil, nil)
 	m.fsyncSeconds = r.Histogram("db_wal_fsync_seconds",

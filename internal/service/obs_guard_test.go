@@ -56,9 +56,10 @@ func TestDisarmedTraceOverheadGuard(t *testing.T) {
 		}
 		start := time.Now()
 		res := func() *result.Set {
-			s.catalogMu.RLock()
-			defer s.catalogMu.RUnlock()
-			return s.lookup(q, bkey).prep.Exec()
+			db := s.core()
+			snap := db.Snapshot()
+			defer snap.Release()
+			return s.lookup(q, cacheKey(db, snap.Epoch(), bkey)).prep.Exec()
 		}()
 		s.stats.queries.Add(1)
 		s.stats.rows.Add(int64(res.Len()))
@@ -113,9 +114,10 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s.catalogMu.RLock()
-	entry := s.lookup(q, key)
-	s.catalogMu.RUnlock()
+	db := s.core()
+	snap := db.Snapshot()
+	entry := s.lookup(q, cacheKey(db, snap.Epoch(), key))
+	snap.Release()
 	prep := entry.prep
 
 	b.Run("disarmed", func(b *testing.B) {

@@ -10,10 +10,11 @@ import (
 // Replication support. The service is role-agnostic: a primary is a
 // normal read/write service whose WAL the repl package ships, a replica
 // is the same service flipped read-only whose catalog is mutated solely
-// through ApplyReplicated — the exact replay path recovery uses, under
-// the same write lock queries contend on, so a replica serves /query,
-// /prepare and /exec exactly like a primary while staying bit-identical
-// to it at equal WAL offsets.
+// through ApplyReplicated — the exact record-replay path recovery uses,
+// applied copy-on-write and published as one MVCC version per chunk, so
+// a replica serves /query, /prepare and /exec exactly like a primary
+// (reads lock-free on pinned snapshots) while staying bit-identical to
+// it at equal WAL offsets.
 //
 // Failover makes the role dynamic. Primaries are ordered by a fencing
 // term: promotion flips a replica writable at term+1, and any primary
@@ -150,28 +151,33 @@ func (s *DB) writeGuard() error {
 
 // SwapCore replaces the wrapped database wholesale — the replica
 // bootstrap path, installing the catalog restored from the primary's
-// snapshot. It takes the write lock, re-installs the shared pool on the
-// new core and drops every cached plan (compiled forms address the old
-// partitions).
+// snapshot. It serializes with writers on the commit mutex, re-installs
+// the shared pool on the new core and drops every cached plan. Queries
+// running against the old core finish on their pinned snapshots — the
+// old core stays alive through those pins, and the plan-cache key's
+// core id keeps its epochs from colliding with the new core's.
 func (s *DB) SwapCore(db *core.DB) {
-	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	db.SetParOptions(s.opt)
-	s.db = db
+	s.dbPtr.Store(db)
 	s.invalidate()
 }
 
 // ApplyReplicated applies a chunk of CRC-framed WAL records shipped from
-// the primary, under the catalog write lock (concurrent queries share
-// the read lock exactly as during a local insert). It consumes whole
+// the primary. The whole chunk builds one copy-on-write version under
+// the commit mutex and publishes with a single atomic swap, so however
+// large the chunk, concurrent replica queries run lock-free on the prior
+// version and never observe a half-applied chunk. It consumes whole
 // frames only and returns how many bytes and mutation records were
 // applied: a partial trailing frame (a torn stream) is left for the
 // caller to re-request from offset+consumed. A CRC failure or an epoch
 // marker that does not match epoch stops the apply with an error; the
-// already-applied prefix is still reported.
+// already-applied prefix still publishes and is reported.
 func (s *DB) ApplyReplicated(chunk []byte, epoch uint64) (consumed, applied int, err error) {
-	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	tx := s.core().BeginWrite()
 	for consumed < len(chunk) {
 		body, n, ferr := persist.ParseFrame(chunk[consumed:])
 		if ferr != nil {
@@ -186,7 +192,7 @@ func (s *DB) ApplyReplicated(chunk []byte, epoch uint64) (consumed, applied int,
 				err = fmt.Errorf("service: shipped WAL carries epoch %d, following %d", e, epoch)
 				break
 			}
-		} else if aerr := persist.ApplyRecord(s.db, body); aerr != nil {
+		} else if aerr := persist.ApplyRecordTo(tx, body); aerr != nil {
 			err = aerr
 			break
 		} else {
@@ -195,6 +201,7 @@ func (s *DB) ApplyReplicated(chunk []byte, epoch uint64) (consumed, applied int,
 		consumed += n
 	}
 	if applied > 0 {
+		tx.Commit()
 		s.invalidate()
 	}
 	return consumed, applied, err

@@ -9,18 +9,26 @@
 // answer many concurrent requests from the cached compiled form. Three
 // mechanisms make that safe and bounded:
 //
-//   - a catalog RWMutex: queries share a read lock; layout optimization,
-//     inserts and other DDL-like operations take the write lock, so a
-//     re-layout never swaps a relation out from under a running scan;
-//   - a prepared-plan cache keyed by the plan's canonical JSON encoding,
-//     invalidated wholesale when the write lock changes the catalog;
+//   - MVCC snapshot isolation: every read pins the current catalog
+//     version (core.DB.Snapshot) and runs lock-free against it for the
+//     whole query, while writers — inserts, bulk loads, re-layouts,
+//     replica WAL-apply — serialize on one commit mutex, build the next
+//     version copy-on-write and publish it with a single atomic pointer
+//     swap, so a re-layout never swaps a relation out from under a
+//     running scan and readers never wait on writers;
+//   - a prepared-plan cache keyed by (core id, epoch, canonical plan
+//     JSON): compiled forms bake partition addresses in, so an entry is
+//     only ever reused against the exact catalog version it was compiled
+//     for; commits additionally drop the cache wholesale so stale-epoch
+//     entries don't linger in the LRU;
 //   - admission control: at most MaxInFlight queries execute at once,
 //     excess requests queue up to QueueTimeout and are then rejected
 //     with ErrOverloaded instead of piling onto the pool.
 //
 // Determinism is inherited from the engines: results are row-identical to
-// a serial core.DB.Query of the same plan, which the race tests assert
-// while layouts are being re-optimized mid-flight.
+// a serial core.DB.Query of the same plan against the pinned version,
+// which the race tests assert while inserts, loads and re-layouts publish
+// new versions mid-flight.
 package service
 
 import (
@@ -54,9 +62,11 @@ var ErrOverloaded = errors.New("service: overloaded (admission queue timed out)"
 var ErrNoPersistence = errors.New("service: no persistence attached (start with a data directory)")
 
 // ErrDurability marks a server-side persistence failure (WAL append or
-// checkpoint I/O): the in-memory mutation was applied but its durability
-// is in doubt. HTTP maps these to 500, not 400 — retrying the request
-// would duplicate the applied mutation.
+// checkpoint I/O). Mutations log before they publish: a rejected insert
+// or table create was NOT applied and is safe to retry. Bulk-load
+// batches report how many rows committed so the stream can resume.
+// HTTP maps these to 500, not 400 — the fault is the server's storage,
+// not the request.
 var ErrDurability = errors.New("service: durability failure")
 
 // ErrReadOnly reports a local write (insert, bulk load, re-layout,
@@ -92,13 +102,20 @@ type Config struct {
 // DB is a concurrency-safe serving wrapper around one core.DB. Create it
 // with New, release pool workers with Close.
 type DB struct {
-	db   *core.DB
-	pool *par.Pool
-	opt  par.Options
+	// dbPtr is the wrapped core; atomic because SwapCore (replica
+	// bootstrap) replaces it wholesale at runtime. Readers pin an MVCC
+	// snapshot off whatever core they load and stay consistent even if a
+	// swap lands mid-query — the old core stays alive through their pins.
+	dbPtr atomic.Pointer[core.DB]
+	pool  *par.Pool
+	opt   par.Options
 
-	// catalogMu is the catalog guard: queries hold it for reading during
-	// compile + execute; OptimizeLayouts and Insert hold it for writing.
-	catalogMu sync.RWMutex
+	// commitMu serializes writers: inserts, bulk-load batches, layout
+	// optimization, replica WAL-apply, core swaps, and the pin+position
+	// step of a checkpoint. Each holds it while building the next catalog
+	// version copy-on-write and publishing it (core.WriteTxn). Readers
+	// never take it — they pin snapshots and run lock-free.
+	commitMu sync.Mutex
 
 	// plans caches compiled queries by canonical plan JSON in an LRU
 	// capped by entry count. Entries are compiled at most once (the
@@ -114,9 +131,11 @@ type DB struct {
 	sem          chan struct{}
 	queueTimeout time.Duration
 
-	// Durability (nil persist = in-memory only). Loggers run under the
-	// catalog write lock; Checkpoint runs under the read lock so queries
-	// keep executing while the snapshot is written. The pointer and the
+	// Durability (nil persist = in-memory only). Loggers run under
+	// commitMu, before the version they describe publishes; Checkpoint
+	// pins a snapshot under commitMu and then serializes it with no lock
+	// held, so queries and writes both proceed while the snapshot file is
+	// written. The pointer and the
 	// threshold are atomic because failover changes them at runtime: a
 	// promoted replica attaches fresh storage, a demoted primary detaches
 	// its now-stale one.
@@ -314,7 +333,6 @@ func New(db *core.DB, cfg Config) *DB {
 		timeout = time.Second
 	}
 	s := &DB{
-		db:           db,
 		pool:         pool,
 		opt:          opt,
 		plans:        newPlanLRU(cfg.PlanCacheSize),
@@ -324,6 +342,7 @@ func New(db *core.DB, cfg Config) *DB {
 		start:        time.Now(),
 		capture:      workload.NewCapture(0),
 	}
+	s.dbPtr.Store(db)
 	// Every node starts at term 1; replicas adopt the primary's term on
 	// bootstrap and a promotion takes term+1.
 	s.role.term = 1
@@ -332,8 +351,8 @@ func New(db *core.DB, cfg Config) *DB {
 }
 
 // AttachPersist wires a durability manager into the service: inserts,
-// bulk loads and re-layout decisions are WAL-logged under the catalog
-// write lock, and a background checkpoint runs whenever the WAL exceeds
+// bulk loads and re-layout decisions are WAL-logged under the commit
+// mutex, and a background checkpoint runs whenever the WAL exceeds
 // walCheckpointBytes (0 means 64 MB; negative disables the automatic
 // trigger — /checkpoint still works). Called before serving starts, and
 // again by promotion when a replica becomes a durable primary.
@@ -369,7 +388,19 @@ func (s *DB) Close() {
 
 // Unwrap returns the wrapped core.DB for single-threaded setup (loading
 // tables, declaring workloads) before serving starts.
-func (s *DB) Unwrap() *core.DB { return s.db }
+func (s *DB) Unwrap() *core.DB { return s.core() }
+
+// core returns the currently wrapped core.DB. Callers that need a
+// consistent view load it once and pin a snapshot off that instance.
+func (s *DB) core() *core.DB { return s.dbPtr.Load() }
+
+// cacheKey scopes a plan digest to one catalog version: compiled plans
+// bake partition addresses and dictionary bounds in, so an entry must
+// never be reused across epochs — nor across cores (SwapCore restarts
+// epochs at 1, which is why the process-unique core id is in the key).
+func cacheKey(db *core.DB, epoch uint64, key string) string {
+	return fmt.Sprintf("%d|%d|%s", db.ID(), epoch, key)
+}
 
 // admit reserves an execution slot, waiting up to the queue timeout.
 func (s *DB) admit() (release func(), err error) {
@@ -429,13 +460,13 @@ func (s *DB) Prepare(p plan.Node) (*Stmt, error) {
 	if _, ok := p.(plan.Insert); ok {
 		return nil, fmt.Errorf("service: insert plans cannot be prepared")
 	}
-	s.catalogMu.RLock()
-	err = plan.Check(p, s.db.Catalog())
+	snap := s.core().Snapshot()
+	err = plan.Check(p, snap.Catalog())
 	var cols []plan.Column
 	if err == nil {
-		cols = plan.Output(p, s.db.Catalog())
+		cols = plan.Output(p, snap.Catalog())
 	}
-	s.catalogMu.RUnlock()
+	snap.Release()
 	if err != nil {
 		return nil, err
 	}
@@ -564,6 +595,9 @@ func (s *DB) runOpts(p plan.Node, key string, o QueryOpts) (*result.Set, *obs.Qu
 // runRead executes a read plan on the selected engine, tracing when
 // armed. The jit path is the cached default; "vector" compiles nothing
 // and runs uncached, so it is the cross-check engine, not the fast one.
+// Both pin an MVCC snapshot for the whole compile+execute and run
+// lock-free against it: concurrent commits publish new versions without
+// this query ever observing them.
 func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, *obs.QueryTrace, error) {
 	switch engine {
 	case "", "jit":
@@ -572,26 +606,29 @@ func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, 
 	default:
 		return nil, nil, fmt.Errorf("service: unknown engine %q (want \"jit\" or \"vector\")", engine)
 	}
-	s.catalogMu.RLock()
-	defer s.catalogMu.RUnlock()
-	entry := s.lookup(p, key)
+	db := s.core()
+	snap := db.Snapshot()
+	defer snap.Release()
+	cat := snap.Catalog()
+	ckey := cacheKey(db, snap.Epoch(), key)
+	entry := s.lookup(p, ckey)
 	entry.once.Do(func() {
-		if err := plan.Check(p, s.db.Catalog()); err != nil {
+		if err := plan.Check(p, cat); err != nil {
 			entry.err = err
 			return
 		}
-		entry.prep = jit.PrepareOpt(p, s.db.Catalog(), s.opt)
+		entry.prep = jit.PrepareOpt(p, cat, s.opt)
 		// Workload capture pays its resolution cost here, once per
 		// compilation: every execution of this entry then records
 		// through precomputed atomic-counter pointers.
-		entry.fp = s.capture.Resolve(s.db.Catalog(), entry.prep.Accesses(),
+		entry.fp = s.capture.Resolve(cat, entry.prep.Accesses(),
 			entry.shape, entry.shapeJSON, p)
 		s.registerHeat(entry.prep.Accesses())
 	})
 	if entry.err != nil {
 		// Invalid plans are not worth a cache slot: a stream of distinct
 		// bad requests must not pin memory.
-		s.forget(key, entry)
+		s.forget(ckey, entry)
 		return nil, nil, entry.err
 	}
 	if !armed {
@@ -600,61 +637,69 @@ func (s *DB) runRead(p plan.Node, key, engine string, armed bool) (*result.Set, 
 		return res, nil, nil
 	}
 	tr := entry.prep.NewTrace()
+	tr.Epoch = snap.Epoch()
 	res := entry.prep.ExecTraced(tr)
 	entry.fp.Record()
 	return res, tr, nil
 }
 
-// runReadVector is the vectorized read path: validated and executed
-// under the read lock like the jit path, but never cached — each
-// request builds its iterator tree from scratch, and likewise resolves
-// its capture footprint per request (the price of the uncached engine,
-// bounded by the same <2% guard as the jit path's per-exec Record).
+// runReadVector is the vectorized read path: pinned to one snapshot like
+// the jit path, but never cached — each request builds its iterator tree
+// from scratch, and likewise resolves its capture footprint per request
+// (the price of the uncached engine, bounded by the same <2% guard as
+// the jit path's per-exec Record).
 func (s *DB) runReadVector(p plan.Node, key string, armed bool) (*result.Set, *obs.QueryTrace, error) {
-	s.catalogMu.RLock()
-	defer s.catalogMu.RUnlock()
-	if err := plan.Check(p, s.db.Catalog()); err != nil {
+	snap := s.core().Snapshot()
+	defer snap.Release()
+	cat := snap.Catalog()
+	if err := plan.Check(p, cat); err != nil {
 		return nil, nil, err
 	}
 	shape, shapeJSON := shapeOf(p, key)
-	accs := vector.Accesses(p, s.db.Catalog())
-	fp := s.capture.Resolve(s.db.Catalog(), accs, shape, shapeJSON, p)
+	accs := vector.Accesses(p, cat)
+	fp := s.capture.Resolve(cat, accs, shape, shapeJSON, p)
 	s.registerHeat(accs)
 	eng := vector.NewParallel(s.opt)
 	if !armed {
-		res := eng.Run(p, s.db.Catalog())
+		res := eng.Run(p, cat)
 		fp.Record()
 		return res, nil, nil
 	}
-	res, tr := eng.RunTraced(p, s.db.Catalog())
+	res, tr := eng.RunTraced(p, cat)
+	tr.Epoch = snap.Epoch()
 	fp.Record()
 	return res, tr, nil
 }
 
-// runInsert applies a write plan under the exclusive lock. The mutation
-// invalidates every cached plan (materialized build sides and compiled
-// slice accessors may reference the grown table) and is WAL-logged when
-// persistence is attached.
+// runInsert applies a write plan under the commit mutex: it WAL-logs the
+// rows first, then builds the next catalog version copy-on-write and
+// publishes it atomically. A WAL failure therefore rejects the insert
+// with nothing applied (safe to retry); concurrent readers on pinned
+// snapshots never see the rows until the publish. The commit drops every
+// cached plan — entries are epoch-keyed, so stale ones could never be
+// reused, but without the flush they would linger in the LRU.
 func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
 	if err := s.writeGuard(); err != nil {
 		return nil, err
 	}
-	s.catalogMu.Lock()
 	res, err := func() (*result.Set, error) {
-		defer s.catalogMu.Unlock()
-		if err := plan.Check(p, s.db.Catalog()); err != nil {
+		s.commitMu.Lock()
+		defer s.commitMu.Unlock()
+		tx := s.core().BeginWrite()
+		if err := plan.Check(p, tx.Catalog()); err != nil {
 			return nil, err
 		}
-		res := s.db.Query(p)
-		s.invalidate()
+		ins := p.(plan.Insert)
 		if m := s.mgr(); m != nil {
-			ins := p.(plan.Insert)
-			width := s.db.Catalog().Table(ins.Table).Schema.Width()
+			width := tx.Catalog().Table(ins.Table).Schema.Width()
 			if err := m.LogInsert(ins.Table, width, ins.Rows); err != nil {
 				s.stats.persistErrs.Add(1)
-				return nil, fmt.Errorf("%w: insert applied but not logged: %v", ErrDurability, err)
+				return nil, fmt.Errorf("%w: insert not logged, nothing applied (safe to retry): %v", ErrDurability, err)
 			}
 		}
+		res := tx.Insert(ins.Table, ins.Rows)
+		tx.Commit()
+		s.invalidate()
 		return res, nil
 	}()
 	if err == nil {
@@ -669,9 +714,9 @@ func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
 // an evicted plan just recompiles.
 const defaultPlanCacheSize = 1024
 
-// lookup returns the cache entry for key, creating it if needed. The
-// caller must hold the catalog lock (read is enough: entries are created
-// under planMu and compiled through their once). New entries are tagged
+// lookup returns the cache entry for key (already epoch-scoped by the
+// caller via cacheKey), creating it if needed. Entries are created under
+// planMu and compiled through their once. New entries are tagged
 // with their normalized shape, computed outside the cache lock; misses pay
 // one extra marshal, hits none.
 func (s *DB) lookup(p plan.Node, key string) *cachedPlan {
@@ -720,27 +765,30 @@ func (s *DB) forget(key string, entry *cachedPlan) {
 	s.planMu.Unlock()
 }
 
-// invalidate drops every cached plan. Callers hold the write lock.
+// invalidate drops every cached plan. Called after a commit publishes a
+// new catalog version (and on core swaps): epoch-scoped keys already
+// prevent cross-version reuse, this just frees the dead entries.
 func (s *DB) invalidate() {
 	s.planMu.Lock()
 	s.plans.clear()
 	s.planMu.Unlock()
 }
 
-// OptimizeLayouts runs the layout optimizer under the exclusive lock —
-// the serving analogue of core.DB.OptimizeLayouts — and invalidates the
-// plan cache, since compiled plans address the old partitions directly.
-// With persistence attached, each decision is WAL-logged so recovery
-// re-applies the exact chosen layouts. A replica refuses: its layouts
-// are the primary's, shipped through the WAL.
+// OptimizeLayouts runs the layout optimizer under the commit mutex — the
+// serving analogue of core.DB.OptimizeLayouts. Re-laid-out tables are
+// materialized copy-on-write and publish in one atomic version swap, so
+// queries running on pinned snapshots finish against the old partitions
+// untouched. With persistence attached, each decision is WAL-logged
+// before the publish so recovery re-applies the exact chosen layouts. A
+// replica refuses: its layouts are the primary's, shipped via the WAL.
 func (s *DB) OptimizeLayouts() ([]core.LayoutChange, error) {
 	if err := s.writeGuard(); err != nil {
 		return nil, err
 	}
-	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
-	changes := s.db.OptimizeLayouts()
-	s.invalidate()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	tx := s.core().BeginWrite()
+	changes := tx.OptimizeLayouts()
 	s.stats.relayouts.Add(1)
 	if m := s.mgr(); m != nil {
 		for _, ch := range changes {
@@ -749,12 +797,21 @@ func (s *DB) OptimizeLayouts() ([]core.LayoutChange, error) {
 			}
 		}
 	}
+	if len(changes) > 0 {
+		tx.Commit()
+		s.invalidate()
+	}
 	return changes, nil
 }
 
-// Checkpoint snapshots the full catalog to the data directory and resets
-// the WAL. It runs under the catalog read lock: concurrent queries keep
-// executing, mutations wait. Concurrent checkpoints serialize.
+// Checkpoint snapshots the full catalog to the data directory and
+// truncates the WAL to the records not yet in the snapshot. Only the
+// setup holds the commit mutex — flushing the WAL, noting its committed
+// position and pinning the current version; the snapshot file is then
+// serialized from that pinned version with NO lock held, so both queries
+// and writes proceed for the whole (possibly long) write. Writes that
+// commit meanwhile land after the noted position and survive in the
+// successor WAL. Concurrent checkpoints serialize.
 func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
 	if err := s.writeGuard(); err != nil {
 		return persist.CheckpointInfo{}, err
@@ -765,10 +822,18 @@ func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	s.catalogMu.RLock()
-	defer s.catalogMu.RUnlock()
+	s.commitMu.Lock()
+	pos, err := m.BeginCheckpoint()
+	if err != nil {
+		s.commitMu.Unlock()
+		s.stats.persistErrs.Add(1)
+		return persist.CheckpointInfo{}, err
+	}
+	snap := s.core().Snapshot()
+	s.commitMu.Unlock()
+	defer snap.Release()
 	start := time.Now()
-	info, err := m.Checkpoint(s.db)
+	info, err := m.CheckpointFrom(snap.Catalog(), pos)
 	if err != nil {
 		s.stats.persistErrs.Add(1)
 		return info, err
@@ -796,12 +861,13 @@ func (s *DB) maybeCheckpointAsync() {
 	}()
 }
 
-// AddWorkload declares workload entries for the optimizer (write lock:
-// it mutates shared DB state).
+// AddWorkload declares workload entries for the optimizer (commit mutex:
+// it mutates the core's shared workload mix, which OptimizeLayouts reads
+// under the same mutex).
 func (s *DB) AddWorkload(name string, p plan.Node, frequency float64) {
-	s.catalogMu.Lock()
-	defer s.catalogMu.Unlock()
-	s.db.AddWorkload(name, p, frequency)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.core().AddWorkload(name, p, frequency)
 }
 
 // TableInfo describes one served table.
@@ -818,11 +884,11 @@ type AttrInfo struct {
 	Type string `json:"type"`
 }
 
-// Tables lists the catalog under the read lock.
+// Tables lists the catalog from a pinned snapshot.
 func (s *DB) Tables() []TableInfo {
-	s.catalogMu.RLock()
-	defer s.catalogMu.RUnlock()
-	c := s.db.Catalog()
+	snap := s.core().Snapshot()
+	defer snap.Release()
+	c := snap.Catalog()
 	names := c.Names()
 	out := make([]TableInfo, 0, len(names))
 	for _, name := range names {
@@ -892,6 +958,16 @@ type Stats struct {
 	// binding would collapse.
 	PlanCacheShapes int `json:"planCacheShapes"`
 
+	// MVCC. Epoch is the currently published catalog version;
+	// ActiveSnapshots counts pinned reader snapshots right now;
+	// LiveVersions is the published version plus superseded versions
+	// still awaiting reader drain (so LiveVersions-1 is the reclaim
+	// backlog); VersionsReclaimed counts versions freed since start.
+	Epoch             uint64 `json:"epoch"`
+	ActiveSnapshots   int64  `json:"activeSnapshots"`
+	LiveVersions      int    `json:"liveVersions"`
+	VersionsReclaimed int64  `json:"versionsReclaimed"`
+
 	// Replication. Role is "primary" or "replica"; a primary reports the
 	// follower gauge, a replica its apply position and lag behind the
 	// primary's committed WAL. Term is the fencing token ordering
@@ -943,6 +1019,11 @@ func (s *DB) Stats() Stats {
 		PlanCacheLimit:  cacheCap,
 		PlanCacheShapes: cacheShapes,
 	}
+	db := s.core()
+	st.Epoch = db.Epoch()
+	st.ActiveSnapshots = db.ActiveSnapshots()
+	st.LiveVersions = db.LiveVersions()
+	st.VersionsReclaimed = db.VersionsReclaimed()
 	if m := s.mgr(); m != nil {
 		st.Persistent = true
 		st.WALBytes = m.WALSize()

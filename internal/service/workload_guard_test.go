@@ -61,12 +61,12 @@ func TestCaptureOverheadGuard(t *testing.T) {
 		}
 		start := time.Now()
 		res, err := func() (*result.Set, error) {
-			s.catalogMu.RLock()
-			defer s.catalogMu.RUnlock()
-			if err := plan.Check(q, s.db.Catalog()); err != nil {
+			snap := s.core().Snapshot()
+			defer snap.Release()
+			if err := plan.Check(q, snap.Catalog()); err != nil {
 				return nil, err
 			}
-			return vector.NewParallel(s.opt).Run(q, s.db.Catalog()), nil
+			return vector.NewParallel(s.opt).Run(q, snap.Catalog()), nil
 		}()
 		if err != nil {
 			t.Fatal(err)
@@ -129,9 +129,9 @@ func BenchmarkCaptureOverhead(b *testing.B) {
 
 	b.Run("resolve", func(b *testing.B) {
 		b.ReportAllocs()
-		s.catalogMu.RLock()
-		defer s.catalogMu.RUnlock()
-		cat := s.db.Catalog()
+		snap := s.core().Snapshot()
+		defer snap.Release()
+		cat := snap.Catalog()
 		for i := 0; i < b.N; i++ {
 			shape, shapeJSON := shapeOf(q, key)
 			accs := vector.Accesses(q, cat)
@@ -140,9 +140,10 @@ func BenchmarkCaptureOverhead(b *testing.B) {
 	})
 	b.Run("record", func(b *testing.B) {
 		b.ReportAllocs()
-		s.catalogMu.RLock()
-		entry := s.lookup(q, key)
-		s.catalogMu.RUnlock()
+		db := s.core()
+		snap := db.Snapshot()
+		entry := s.lookup(q, cacheKey(db, snap.Epoch(), key))
+		snap.Release()
 		for i := 0; i < b.N; i++ {
 			entry.fp.Record()
 		}

@@ -3,6 +3,7 @@ package storage
 import (
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -16,11 +17,16 @@ import (
 // The value table is published through an atomic pointer: any number of
 // goroutines may decode codes (Value, Values, Len) concurrently with one
 // appender (AppendCode). Appenders must be serialized externally — the
-// service layer runs them under its catalog write lock — and the code
-// lookup side (Code, MustCode, MatchCodes) must likewise be excluded from
-// concurrent appends, since it reads the code map the appender mutates.
+// service layer runs them under its commit mutex — while the code lookup
+// side (Code, MustCode) shares the code map with the appender under an
+// internal RWMutex, so lock-free snapshot readers may compile predicates
+// while an insert grows the dictionary. Dictionaries are shared across
+// MVCC catalog versions rather than copied: append-only codes mean a
+// pinned snapshot's rows only ever reference the value-table prefix that
+// existed when they were published.
 type Dict struct {
 	values atomic.Pointer[[]string] // value table in code order
+	mu     sync.RWMutex             // guards code
 	code   map[string]Word
 	sorted int // values[:sorted] are in lexicographic order
 }
@@ -57,14 +63,16 @@ func (d *Dict) Len() int { return len(d.vals()) }
 
 // Code returns the code of v, if present.
 func (d *Dict) Code(v string) (Word, bool) {
+	d.mu.RLock()
 	c, ok := d.code[v]
+	d.mu.RUnlock()
 	return c, ok
 }
 
 // MustCode returns the code of v or panics; for benchmark parameter
 // binding, where the value is known to exist.
 func (d *Dict) MustCode(v string) Word {
-	c, ok := d.code[v]
+	c, ok := d.Code(v)
 	if !ok {
 		panic("storage: value not in dictionary: " + v)
 	}
@@ -76,6 +84,8 @@ func (d *Dict) MustCode(v string) Word {
 // atomically, so codes handed out earlier stay decodable by concurrent
 // readers throughout.
 func (d *Dict) AppendCode(v string) Word {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if c, ok := d.code[v]; ok {
 		return c
 	}

@@ -177,6 +177,31 @@ func RestoreRelation(schema *Schema, layout Layout, partData [][]Word, dicts []*
 	return r, nil
 }
 
+// CloneForWrite returns a copy-on-write shell of the relation for the MVCC
+// write path: fresh Relation and Partition structs whose Data slice headers
+// share the original backing arrays. Appends through the clone either
+// reallocate (leaving readers of the original untouched) or write beyond
+// every published length — addresses no reader of an older version ever
+// dereferences, because each version's slice header bounds its own row
+// count. Dictionaries are shared (append-only codes), as are the immutable
+// Schema, Layout and attribute maps; only the Dicts slice itself is copied
+// so a clone can install a dictionary lazily without racing old readers.
+func (r *Relation) CloneForWrite() *Relation {
+	out := &Relation{
+		Schema:  r.Schema,
+		Layout:  r.Layout,
+		Parts:   make([]*Partition, len(r.Parts)),
+		Dicts:   append([]*Dict(nil), r.Dicts...),
+		rows:    r.rows,
+		groupOf: r.groupOf,
+		offOf:   r.offOf,
+	}
+	for i, p := range r.Parts {
+		out.Parts[i] = &Partition{Attrs: p.Attrs, Stride: p.Stride, Data: p.Data}
+	}
+	return out
+}
+
 // WithLayout materializes the relation's content under a different layout.
 // Dictionaries are shared: codes remain valid across siblings.
 func (r *Relation) WithLayout(layout Layout) *Relation {
