@@ -20,6 +20,9 @@
 //	GET  /stats                              service counters
 //	GET  /workload                           captured column heat + top plan shapes
 //	GET  /advisor                            layout-drift advice (advisory-only)
+//	GET  /events?since=N                     cluster event journal replay (cursor-paged)
+//	GET  /history                            in-process metrics history (-history-interval samples)
+//	GET  /replication                        per-follower cursors + lag (primary) / apply position (replica)
 //	GET  /metrics                            Prometheus text exposition
 //	GET  /healthz                            liveness + role health (ok/degraded/fenced)
 //	GET  /repl/snapshot                      (primary) replication bootstrap
@@ -97,6 +100,7 @@ func main() {
 		coalesceMS  = flag.Int("wal-coalesce-ms", 0, "with -data-dir: coalesce consecutive insert WAL records within this window (0 = off)")
 		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this URL")
 		advisorIvl  = flag.Duration("advisor-interval", time.Minute, "period of the layout-drift advisor over the captured workload (0 = only on GET /advisor)")
+		historyIvl  = flag.Duration("history-interval", 10*time.Second, "sampling period of the in-process metrics history behind GET /history (0 = off)")
 		driftWarn   = flag.Float64("advisor-drift-warn", service.DefaultDriftWarnRatio, "drift ratio at or above which the advisor logs a warning (<= 0 disables)")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries at least this slow with their operator trace (0 = off)")
@@ -129,7 +133,7 @@ func main() {
 	}
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg, *drain, *pprofAddr, slowQuery, *advisorIvl, *driftWarn)
+		runReplica(*addr, *replicaOf, *dataDir, *fsync, threshold, cfg, *drain, *pprofAddr, slowQuery, *advisorIvl, *driftWarn, *historyIvl)
 		return
 	}
 
@@ -171,6 +175,9 @@ func main() {
 	s.SetSlowQueryThreshold(slowQuery)
 	s.SetDriftWarnRatio(*driftWarn)
 	s.StartAdvisor(*advisorIvl)
+	if *historyIvl > 0 {
+		s.StartHistory(*historyIvl)
+	}
 	handler := s.Handler()
 	if mgr != nil {
 		s.AttachPersist(mgr, threshold)
@@ -180,8 +187,9 @@ func main() {
 			}
 		}
 		// A durable primary can feed replicas and be demoted after a
-		// failover: run it as a Node.
-		node := repl.NewNode(s, repl.NodeConfig{Mgr: mgr, CheckpointWAL: threshold})
+		// failover: run it as a Node. The follower id matters only after
+		// a demotion, when this node starts acking the new primary.
+		node := repl.NewNode(s, repl.NodeConfig{Mgr: mgr, CheckpointWAL: threshold, FollowerID: *addr})
 		if err := node.Start(context.Background()); err != nil {
 			fatal("starting replication node", err)
 		}
@@ -214,7 +222,7 @@ func main() {
 // (reads return empty results until the first bootstrap lands) while the
 // node's tail loop bootstraps and follows the primary with backoff, and
 // it mounts /promote and /demote so an operator can fail it over.
-func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config, drain time.Duration, pprofAddr string, slowQuery time.Duration, advisorIvl time.Duration, driftWarn float64) {
+func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg service.Config, drain time.Duration, pprofAddr string, slowQuery time.Duration, advisorIvl time.Duration, driftWarn float64, historyIvl time.Duration) {
 	s := service.New(core.Open(), cfg)
 	defer s.Close()
 	s.SetSlowQueryThreshold(slowQuery)
@@ -223,8 +231,13 @@ func runReplica(addr, primary, dataDir string, fsync bool, threshold int64, cfg 
 	// how far the primary's physical design is from this replica's traffic.
 	s.SetDriftWarnRatio(driftWarn)
 	s.StartAdvisor(advisorIvl)
+	if historyIvl > 0 {
+		s.StartHistory(historyIvl)
+	}
 
-	nodeCfg := repl.NodeConfig{PrimaryURL: primary, CheckpointWAL: threshold}
+	// Name this follower by its listen address on the primary's side, so
+	// GET /replication and the lag histograms show operator-recognizable ids.
+	nodeCfg := repl.NodeConfig{PrimaryURL: primary, CheckpointWAL: threshold, FollowerID: addr}
 	if dataDir != "" {
 		// Promotion storage: opened fresh at promote time (the replica's
 		// authoritative state is the replicated catalog in memory, not

@@ -69,6 +69,23 @@ func Obs(opt Options) *Report {
 		[]string{"counter/inc", fmtDur(perInc), "per op"},
 	)
 
+	// The event journal's lock-free append (what a system event costs at
+	// the emit site) and one metrics-history sample (the sampler's whole
+	// per-interval cost — the query path itself pays nothing for history).
+	j := obs.NewJournal(obs.DefaultJournalSize)
+	perAppend := medianTime(repeats, func() {
+		for i := 0; i < primOps; i++ {
+			j.Append(obs.Event{Kind: "bench", Msg: "journal append cost"})
+		}
+	}) / primOps
+	sample := medianTime(repeats, func() {
+		svc.SampleHistory()
+	})
+	rep.Rows = append(rep.Rows,
+		[]string{"journal/append", fmtDur(perAppend), "per op"},
+		[]string{"history/sample", fmtDur(sample), "per interval"},
+	)
+
 	// Rendering the full service registry — what one scrape costs.
 	var sb strings.Builder
 	render := medianTime(repeats, func() {
@@ -85,6 +102,7 @@ func Obs(opt Options) *Report {
 		fmt.Sprintf("query/* = median of %d runs of a cached %d-row scan+group-by through the service", repeats, rows),
 		"query/explain arms a per-operator trace (rows in/out, wall time per worker lane)",
 		"histogram/observe and counter/inc are the lock-free primitives on the disarmed per-query path",
+		"journal/append = one structured event into the bounded ring; history/sample = one full gauge sweep of the in-process history",
 		"metrics/render = one full Prometheus text exposition of the service registry",
 	)
 	if n := workersNote(opt); n != "" {

@@ -109,3 +109,87 @@ func (h *Histogram) snapshot() (bounds []float64, cumulative []int64, count int6
 	}
 	return h.bounds, cumulative, h.count.Load(), h.Sum()
 }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's cumulative
+// bucket counts — the input to quantile estimation, and (via Sub) to
+// interval quantiles between two samples of the same histogram.
+type HistogramSnapshot struct {
+	Bounds     []float64 // ascending upper bounds (le semantics)
+	Cumulative []int64   // len(Bounds)+1; last entry is the +Inf total
+	Count      int64
+	Sum        float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	bounds, cumulative, count, sum := h.snapshot()
+	return HistogramSnapshot{Bounds: bounds, Cumulative: cumulative, Count: count, Sum: sum}
+}
+
+// Sub returns the observations recorded after prev — the per-interval
+// histogram between two snapshots of the same collector. Bounds are
+// shared, not copied; a prev from a different histogram shape returns
+// the receiver unchanged.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Cumulative) != len(s.Cumulative) {
+		return s
+	}
+	d := HistogramSnapshot{
+		Bounds:     s.Bounds,
+		Cumulative: make([]int64, len(s.Cumulative)),
+		Count:      s.Count - prev.Count,
+		Sum:        s.Sum - prev.Sum,
+	}
+	for i := range s.Cumulative {
+		d.Cumulative[i] = s.Cumulative[i] - prev.Cumulative[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) with the standard
+// Prometheus histogram_quantile interpolation: the target rank lands in
+// one bucket and the estimate interpolates linearly between that
+// bucket's bounds, assuming observations spread uniformly inside it.
+// Ranks in the +Inf bucket clamp to the highest finite bound; an empty
+// snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Cumulative) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	i := 0
+	for i < len(s.Cumulative) && float64(s.Cumulative[i]) < rank {
+		i++
+	}
+	if i >= len(s.Bounds) {
+		// +Inf bucket: no upper bound to interpolate toward.
+		if len(s.Bounds) == 0 {
+			return 0
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lower := 0.0
+	prevCum := int64(0)
+	if i > 0 {
+		lower = s.Bounds[i-1]
+		prevCum = s.Cumulative[i-1]
+	}
+	upper := s.Bounds[i]
+	inBucket := s.Cumulative[i] - prevCum
+	if inBucket <= 0 {
+		return upper
+	}
+	return lower + (upper-lower)*(rank-float64(prevCum))/float64(inBucket)
+}
+
+// Quantile estimates the q-quantile over all observations so far; see
+// HistogramSnapshot.Quantile for the interpolation rules.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}

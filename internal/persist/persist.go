@@ -90,12 +90,42 @@ type Manager struct {
 	epoch       uint64 // current checkpoint epoch (snapshot and WAL agree)
 	checkpoints int64
 
+	// Write tracing: every commit is stamped with a monotonic sequence
+	// number, its wall-clock time and the correlation id of the write
+	// that triggered it (Tag). The stamps ring maps committed WAL offsets
+	// back to those stamps so TailRead can tell a follower *when* the
+	// newest bytes it ships were committed — the primary half of
+	// commit-to-visible lag. Rotation clears the ring (offsets restart);
+	// stampSeq keeps rising for the manager's lifetime.
+	stampSeq int64
+	stamps   []commitStamp // ring, stampRingSize entries once full
+	stampPos int           // next write index
+	stampN   int           // valid entries
+	tag      string        // sticky query id consumed by the next commit
+
 	// Metric hooks, nil until SetMetrics: fsync latency per group commit
 	// and total bytes appended (frames included). Kept as plain fields
 	// under mu — every reader already holds it.
 	fsyncHist   *obs.Histogram
 	walAppended *obs.Counter
 }
+
+// commitStamp records one durable group commit: the committed WAL
+// length it produced, its process-monotonic sequence number, the
+// wall-clock commit time and the correlation id of the triggering write
+// (empty when untagged; a coalesced flush carries the last tag set
+// inside its window).
+type commitStamp struct {
+	end   int64 // committed WAL length after this commit
+	seq   int64
+	nanos int64 // unix nanoseconds at commit
+	qid   string
+}
+
+// stampRingSize bounds the commit-stamp ring. Followers nearly caught
+// up resolve against the newest stamps; one lagging by more than the
+// ring simply gets no stamp (zero values), never a wrong one.
+const stampRingSize = 512
 
 // SetMetrics wires the durability metrics in: fsync gets one observation
 // per group commit (fsync mode only), walAppended every framed byte.
@@ -184,6 +214,15 @@ func (m *Manager) WALSize() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.w.size
+}
+
+// Committed returns the flushed, frame-aligned WAL prefix length and the
+// mutation records inside it — the position a fully caught-up follower
+// would hold (the GET /replication primary-side reference point).
+func (m *Manager) Committed() (bytes, records int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed, m.records
 }
 
 // Epoch returns the current checkpoint epoch.
@@ -295,8 +334,69 @@ func (m *Manager) commitLocked(body []byte) error {
 	}
 	m.committed = m.w.size
 	m.records++
+	m.stampSeq++
+	m.pushStampLocked(commitStamp{
+		end:   m.committed,
+		seq:   m.stampSeq,
+		nanos: time.Now().UnixNano(),
+		qid:   m.tag,
+	})
+	m.tag = ""
 	m.wakeLocked()
 	return nil
+}
+
+// Tag attaches a correlation id to the next commit: the service's write
+// paths call it (under their commit mutex) right before the LogX call
+// it describes, so the stamp — and through TailRead every follower —
+// learns which request produced the bytes. With coalescing, the merged
+// record carries the last tag set inside the window.
+func (m *Manager) Tag(qid string) {
+	if qid == "" {
+		return
+	}
+	m.mu.Lock()
+	m.tag = qid
+	m.mu.Unlock()
+}
+
+// LastCommit reports the newest commit stamp: its sequence number, its
+// wall-clock unix-nanosecond time and its correlation id. All zero when
+// nothing has committed since open/rotation.
+func (m *Manager) LastCommit() (seq, nanos int64, qid string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stampN == 0 {
+		return 0, 0, ""
+	}
+	st := m.stamps[(m.stampPos-1+len(m.stamps))%len(m.stamps)]
+	return st.seq, st.nanos, st.qid
+}
+
+func (m *Manager) pushStampLocked(st commitStamp) {
+	if m.stamps == nil {
+		m.stamps = make([]commitStamp, stampRingSize)
+	}
+	m.stamps[m.stampPos] = st
+	m.stampPos = (m.stampPos + 1) % len(m.stamps)
+	if m.stampN < len(m.stamps) {
+		m.stampN++
+	}
+}
+
+// stampAtOrBeforeLocked returns the newest stamp whose committed end is
+// at or below end — the commit a follower holding exactly end bytes has
+// fully applied. ok is false when the ring holds no such stamp (the
+// follower is further behind than the ring remembers, or nothing has
+// committed yet).
+func (m *Manager) stampAtOrBeforeLocked(end int64) (commitStamp, bool) {
+	for i := 0; i < m.stampN; i++ {
+		st := m.stamps[(m.stampPos-1-i+len(m.stamps))%len(m.stamps)]
+		if st.end <= end {
+			return st, true
+		}
+	}
+	return commitStamp{}, false
 }
 
 // wakeLocked releases every goroutine parked on Changed().
@@ -415,6 +515,10 @@ func (m *Manager) CheckpointFrom(cat *plan.Catalog, pos int64) (CheckpointInfo, 
 	m.checkpoints++
 	m.committed = m.w.size
 	m.records = records
+	// Offsets restarted with the rotated log: the old stamps' ends no
+	// longer describe it. Followers see zero stamps (no lag observation)
+	// until the next commit — better than a wrong mapping.
+	m.stampN, m.stampPos = 0, 0
 	// Wake parked tails so followers of the rotated epoch learn about it
 	// immediately instead of at their poll timeout.
 	m.wakeLocked()

@@ -38,6 +38,16 @@ type Tail struct {
 	Records int64
 	// Epoch is the primary's current checkpoint epoch.
 	Epoch uint64
+	// CommitSeq, CommitNanos and QueryID describe the newest stamped
+	// commit fully contained in Data (or, when Data is empty, in the
+	// offset the caller already holds): its monotonic sequence number,
+	// wall-clock unix-nanosecond commit time and the correlation id of
+	// the triggering write. Zero/empty when no stamp covers the position
+	// — after a rotation or restart, or for a follower lagging past the
+	// stamp ring — in which case the follower must not derive lag.
+	CommitSeq   int64
+	CommitNanos int64
+	QueryID     string
 }
 
 // TailRead returns committed WAL bytes from the given offset, at most max
@@ -57,6 +67,7 @@ func (m *Manager) TailRead(epoch uint64, offset int64, max int) (Tail, error) {
 	}
 	avail := m.committed - offset
 	if avail == 0 {
+		m.stampTail(&t, offset)
 		return t, nil
 	}
 	n := avail
@@ -83,7 +94,16 @@ func (m *Manager) TailRead(epoch uint64, offset int64, max int) (Tail, error) {
 		end = int(total)
 	}
 	t.Data = buf[:end]
+	m.stampTail(&t, offset+int64(end))
 	return t, nil
+}
+
+// stampTail resolves the newest commit stamp covered by a tail ending at
+// end into the Tail's tracing fields. Caller holds m.mu.
+func (m *Manager) stampTail(t *Tail, end int64) {
+	if st, ok := m.stampAtOrBeforeLocked(end); ok {
+		t.CommitSeq, t.CommitNanos, t.QueryID = st.seq, st.nanos, st.qid
+	}
 }
 
 // Changed returns a channel that is closed at the next commit or epoch

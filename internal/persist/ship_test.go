@@ -339,3 +339,68 @@ func TestCoalesceCheckpointDropsPending(t *testing.T) {
 		t.Fatalf("recovered %d rows, want 2 (pending batch duplicated or lost)", got)
 	}
 }
+
+// TestTailCommitStamps pins the write-tracing surface: every commit
+// stamps a monotonic sequence + wall-clock time (plus the tagged
+// correlation id), TailRead resolves the newest stamp its bytes cover,
+// and a rotation clears the ring instead of mapping stale offsets.
+func TestTailCommitStamps(t *testing.T) {
+	db, m := shipDB(t)
+	before := time.Now().UnixNano()
+	m.Tag("q-ship-1")
+	insertLogged(t, db, m, row2(1, 10))
+
+	tail, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two commits so far (create-table, tagged insert): the full tail
+	// resolves to the newest.
+	if tail.CommitSeq != 2 {
+		t.Fatalf("CommitSeq = %d, want 2", tail.CommitSeq)
+	}
+	if tail.QueryID != "q-ship-1" {
+		t.Fatalf("QueryID = %q, want q-ship-1", tail.QueryID)
+	}
+	if tail.CommitNanos < before || tail.CommitNanos > time.Now().UnixNano() {
+		t.Fatalf("CommitNanos %d outside test window", tail.CommitNanos)
+	}
+	if seq, nanos, qid := m.LastCommit(); seq != 2 || nanos != tail.CommitNanos || qid != "q-ship-1" {
+		t.Fatalf("LastCommit = (%d, %d, %q)", seq, nanos, qid)
+	}
+
+	// A caught-up poll (empty Data) still reports the stamp at the held
+	// offset; the tag was consumed by its commit, not left sticky.
+	insertLogged(t, db, m, row2(2, 20))
+	caught, err := m.TailRead(m.Epoch(), m.WALSize(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught.CommitSeq != 3 || caught.QueryID != "" {
+		t.Fatalf("caught-up stamp = (%d, %q), want (3, \"\")", caught.CommitSeq, caught.QueryID)
+	}
+
+	// Rotation: stamps reset; a fresh tail of the new epoch has no stamp
+	// until the next commit, then stamps resume with rising seqs.
+	if _, err := m.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _, _ := m.LastCommit(); seq != 0 {
+		t.Fatalf("post-rotation LastCommit seq = %d, want 0", seq)
+	}
+	rot, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot.CommitSeq != 0 || rot.CommitNanos != 0 || rot.QueryID != "" {
+		t.Fatalf("post-rotation tail stamp = (%d, %d, %q), want zeros", rot.CommitSeq, rot.CommitNanos, rot.QueryID)
+	}
+	insertLogged(t, db, m, row2(3, 30))
+	after, err := m.TailRead(m.Epoch(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CommitSeq != 4 {
+		t.Fatalf("post-rotation CommitSeq = %d, want 4 (seq keeps rising)", after.CommitSeq)
+	}
+}

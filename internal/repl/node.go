@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -39,6 +40,11 @@ type NodeConfig struct {
 	// DrainWait bounds the promotion-time final catch-up against the
 	// (possibly dead) old primary. Default 2s.
 	DrainWait time.Duration
+
+	// FollowerID, when set, names this node on the primary's side (the
+	// X-Repl-Follower header: the follower id in GET /replication and
+	// the per-follower lag histograms). Default is a process-unique name.
+	FollowerID string
 
 	// Transport, when set, replaces the replica's HTTP transport — the
 	// fault-injection seam.
@@ -206,12 +212,19 @@ func (n *Node) Demote(primaryURL string, term uint64) error {
 	}
 	n.svc.SetReadOnly(primaryURL)
 	n.startReplicaLocked(primaryURL)
+	n.svc.Event(service.EventDemote, "demoted: now following a new primary", map[string]string{
+		"primary": primaryURL,
+		"term":    strconv.FormatUint(term, 10),
+	})
 	return nil
 }
 
 // startReplicaLocked builds a fresh Replica and starts its tail loop.
 func (n *Node) startReplicaLocked(primaryURL string) {
 	rep := NewReplica(n.svc, primaryURL)
+	if n.cfg.FollowerID != "" {
+		rep.ID = n.cfg.FollowerID
+	}
 	if n.cfg.Transport != nil {
 		rep.SetTransport(n.cfg.Transport)
 	}

@@ -55,6 +55,9 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !p.observeTerm(w, r) {
 		return
 	}
+	if id := followerID(r); id != "" {
+		p.svc.NoteFollowerSync(id)
+	}
 	path := p.mgr.SnapshotPath()
 	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
 		if _, cerr := p.svc.Checkpoint(); cerr != nil {
@@ -100,6 +103,7 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 	if !p.observeTerm(w, r) {
 		return
 	}
+	p.noteFollower(r)
 	p.svc.FollowerDelta(1)
 	defer p.svc.FollowerDelta(-1)
 
@@ -167,10 +171,49 @@ func (p *Primary) observeTerm(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// followerID extracts a usable follower identity from the request: the
+// same validity rules as client query ids (printable ASCII, capped),
+// since the id becomes a metric label and a log field on the primary.
+func followerID(r *http.Request) string {
+	id := r.Header.Get(hdrFollower)
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < '!' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+// noteFollower folds one tail poll's ack headers into the service's
+// per-follower progress registry: the follower's applied position from
+// its previous round and — when it could measure one — the
+// commit-to-visible lag of its latest applied chunk.
+func (p *Primary) noteFollower(r *http.Request) {
+	id := followerID(r)
+	if id == "" {
+		return
+	}
+	epoch, _ := strconv.ParseUint(r.Header.Get(hdrAckEpoch), 10, 64)
+	offset, _ := strconv.ParseInt(r.Header.Get(hdrAckOffset), 10, 64)
+	records, _ := strconv.ParseInt(r.Header.Get(hdrAckRecords), 10, 64)
+	lagNanos, _ := strconv.ParseInt(r.Header.Get(hdrVisibleLag), 10, 64)
+	p.svc.ObserveFollowerPoll(id, epoch, offset, records, lagNanos)
+}
+
 func setTailHeaders(w http.ResponseWriter, t persist.Tail) {
 	w.Header().Set(hdrEpoch, strconv.FormatUint(t.Epoch, 10))
 	w.Header().Set(hdrCommitted, strconv.FormatInt(t.Committed, 10))
 	w.Header().Set(hdrRecords, strconv.FormatInt(t.Records, 10))
+	if t.CommitSeq > 0 {
+		w.Header().Set(hdrCommitSeq, strconv.FormatInt(t.CommitSeq, 10))
+		w.Header().Set(hdrCommitTime, strconv.FormatInt(t.CommitNanos, 10))
+		if t.QueryID != "" {
+			w.Header().Set(hdrQueryID, t.QueryID)
+		}
+	}
 }
 
 func replError(w http.ResponseWriter, status int, err error) {

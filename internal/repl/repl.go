@@ -63,4 +63,26 @@ const (
 	// fences you (primary) or is adopted (replica); observing a lower one
 	// marks the peer stale.
 	hdrTerm = "X-Repl-Term"
+
+	// Write-tracing headers on tail responses: the newest stamped commit
+	// covered by the shipped chunk (or by the caught-up position) — its
+	// monotonic sequence, wall-clock unix-nanosecond commit time, and the
+	// correlation id (X-Query-Id) of the write that produced it. A
+	// replica subtracts the commit time from its apply time to measure
+	// commit-to-visible lag; absent/zero headers mean no stamp covered
+	// the position and no lag can be derived.
+	hdrCommitSeq  = "X-Repl-Commit-Seq"
+	hdrCommitTime = "X-Repl-Commit-Time"
+	hdrQueryID    = "X-Query-Id"
+
+	// Follower ack headers on tail (and snapshot) requests: the
+	// follower's identity and its applied position from the previous
+	// round, plus its last measured commit-to-visible lag. The primary
+	// folds them into its per-follower progress registry
+	// (GET /replication) and lag histograms.
+	hdrFollower   = "X-Repl-Follower"
+	hdrAckEpoch   = "X-Repl-Ack-Epoch"
+	hdrAckOffset  = "X-Repl-Ack-Offset"
+	hdrAckRecords = "X-Repl-Ack-Records"
+	hdrVisibleLag = "X-Repl-Visible-Lag-Ns"
 )

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +38,10 @@ const maxStall = 3
 // but a single oversized record is shipped whole, so leave headroom.
 const maxBody = 256 << 20
 
+// replicaIDs makes default follower ids process-unique (tests run many
+// replicas in one process).
+var replicaIDs atomic.Int64
+
 // Replica follows one primary: it bootstraps the service's catalog from
 // the primary's snapshot (SwapCore) and then applies the shipped WAL
 // through the service's replicated-apply path, publishing progress, lag
@@ -52,6 +59,13 @@ type Replica struct {
 	svc  *service.DB
 	base string
 	hc   *http.Client
+
+	// ID identifies this follower to the primary (the X-Repl-Follower
+	// header, a metric label in the primary's per-follower lag
+	// histograms and the id in its GET /replication). Defaults to a
+	// process-unique name; cmd/served overrides it with the node's
+	// listen address. Set before the tail loop starts.
+	ID string
 
 	// Backoff is the first retry delay after a failure; subsequent
 	// failures double it (with jitter) up to BackoffCap.
@@ -78,6 +92,11 @@ type Replica struct {
 	ready   bool
 	stall   int
 
+	// lagNanos is the last measured commit-to-visible lag (primary
+	// commit wall-clock to local apply), reported upstream on the next
+	// poll's ack headers; 0 until a fully-applied chunk carried a stamp.
+	lagNanos int64
+
 	// Circuit-breaker state (tail-loop goroutine only).
 	bo        backoff
 	fails     int
@@ -90,6 +109,7 @@ func NewReplica(svc *service.DB, base string) *Replica {
 	r := &Replica{
 		svc:  svc,
 		base: base,
+		ID:   fmt.Sprintf("follower-%d-%d", os.Getpid(), replicaIDs.Add(1)),
 		// No global client timeout: the WAL tail long-polls, and per-
 		// request timeouts (PollTimeout, SnapshotTimeout) bound each call
 		// instead. Dead primaries are also caught by the dial and
@@ -128,6 +148,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 		return err
 	}
 	req.Header.Set(hdrTerm, strconv.FormatUint(r.svc.Term(), 10))
+	req.Header.Set(hdrFollower, r.ID)
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return err
@@ -235,6 +256,15 @@ func (r *Replica) poll(ctx context.Context) error {
 		return err
 	}
 	req.Header.Set(hdrTerm, strconv.FormatUint(r.svc.Term(), 10))
+	// Ack the position (and lag measurement) of the previous round; the
+	// primary folds it into its per-follower registry and histograms.
+	req.Header.Set(hdrFollower, r.ID)
+	req.Header.Set(hdrAckEpoch, strconv.FormatUint(r.epoch, 10))
+	req.Header.Set(hdrAckOffset, strconv.FormatInt(r.offset, 10))
+	req.Header.Set(hdrAckRecords, strconv.FormatInt(r.records, 10))
+	if r.lagNanos > 0 {
+		req.Header.Set(hdrVisibleLag, strconv.FormatInt(r.lagNanos, 10))
+	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return err
@@ -253,6 +283,7 @@ func (r *Replica) poll(ctx context.Context) error {
 		r.offset += int64(consumed)
 		r.records += int64(applied)
 		r.publish(resp)
+		r.noteApply(resp, len(chunk), consumed, applied)
 		if consumed == 0 && len(chunk) > 0 {
 			// A frame that cannot be applied and does not advance: either
 			// corrupt in transit (re-request and hope) or corrupt at the
@@ -289,6 +320,40 @@ func (r *Replica) poll(ctx context.Context) error {
 		}
 		return fmt.Errorf("repl: WAL tail: %s: %s", resp.Status, readErrBody(resp.Body))
 	}
+}
+
+// noteApply closes the write-tracing loop on one applied chunk: it
+// measures commit-to-visible lag (the primary's stamped commit
+// wall-clock time to now, valid only when the whole chunk applied — a
+// partial apply has not yet made the stamped commit visible) and logs
+// the apply with the originating write's correlation id, so grepping one
+// X-Query-Id walks the write from the client's request through the
+// primary's WAL commit to this replica's publish.
+func (r *Replica) noteApply(resp *http.Response, chunkLen, consumed, applied int) {
+	if applied == 0 {
+		return
+	}
+	seq, _ := strconv.ParseInt(resp.Header.Get(hdrCommitSeq), 10, 64)
+	commitNanos, _ := strconv.ParseInt(resp.Header.Get(hdrCommitTime), 10, 64)
+	var lagNanos int64
+	if commitNanos > 0 && consumed == chunkLen {
+		lagNanos = max(time.Now().UnixNano()-commitNanos, 0)
+		r.lagNanos = lagNanos
+		r.svc.SetReplicaVisibleLag(lagNanos)
+	}
+	args := []any{
+		slog.Int64("commitSeq", seq),
+		slog.Uint64("epoch", r.epoch),
+		slog.Int64("offset", r.offset),
+		slog.Int("records", applied),
+	}
+	if qid := resp.Header.Get(hdrQueryID); qid != "" {
+		args = append(args, slog.String("id", qid))
+	}
+	if lagNanos > 0 {
+		args = append(args, slog.Int64("visibleLagMicros", lagNanos/1e3))
+	}
+	r.svc.Logger().Debug("repl: applied", args...)
 }
 
 // checkTerm reconciles the peer's fencing term with ours: adopt a higher

@@ -3,6 +3,7 @@ package service
 import (
 	"log/slog"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/workload"
@@ -79,6 +80,12 @@ func (s *DB) Advise() AdvisorReport {
 				slog.String("recommended", a.Recommended),
 				slog.Int64("queries", rep.Queries),
 			)
+			s.Event(EventDriftWarning, "layout drift over threshold", map[string]string{
+				"table":       a.Table,
+				"drift":       strconv.FormatFloat(a.Drift, 'f', 3, 64),
+				"layout":      a.Layout,
+				"recommended": a.Recommended,
+			})
 		}
 	}
 	return rep

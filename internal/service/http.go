@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/exec/result"
@@ -27,6 +29,9 @@ import (
 //	GET  /stats                                     -> service counters
 //	GET  /workload                                  -> captured column heat + plan shapes
 //	GET  /advisor                                   -> layout-drift advice (advisory-only)
+//	GET  /events?since=N                            -> cluster event journal replay
+//	GET  /history                                   -> in-process metrics history ring
+//	GET  /replication                               -> per-follower cursors and lag / apply position
 //
 // Results decode words by column type: int64/float64/bool become JSON
 // numbers/booleans; string columns whose provenance is a base table
@@ -56,18 +61,60 @@ func (s *DB) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/workload", s.handleWorkload)
 	mux.HandleFunc("/advisor", s.handleAdvisor)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/replication", s.handleReplication)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.Metrics().Handler())
 	return s.withQueryID(mux)
 }
 
-// withQueryID assigns every request a process-unique id, echoed back as
-// X-Query-Id and attached to the request-scoped debug log line — the
-// handle for correlating a client-observed response with server logs.
+// maxQueryIDLen caps accepted client-supplied correlation ids.
+const maxQueryIDLen = 64
+
+// ValidQueryID reports whether a client-supplied X-Query-Id is
+// acceptable: non-empty, at most maxQueryIDLen bytes, printable ASCII
+// with no spaces (it travels in headers and log lines verbatim).
+func ValidQueryID(id string) bool {
+	if id == "" || len(id) > maxQueryIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < '!' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// qidKey carries the request's correlation id through its context.
+type qidKey struct{}
+
+// WithQueryID returns a context carrying the correlation id.
+func WithQueryID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, qidKey{}, id)
+}
+
+// QueryIDFrom returns the context's correlation id ("" when unset).
+func QueryIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(qidKey{}).(string)
+	return id
+}
+
+// withQueryID assigns every request a correlation id — a client-supplied
+// X-Query-Id when it validates, a process-unique generated one otherwise
+// — echoed back as X-Query-Id, attached to the request context (write
+// paths stamp it onto the WAL commit) and to the request-scoped debug
+// log line: the handle for following one request across the primary's
+// and every replica's logs.
 func (s *DB) withQueryID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("q%d", s.queryIDs.Add(1))
+		id := r.Header.Get("X-Query-Id")
+		if !ValidQueryID(id) {
+			id = fmt.Sprintf("q%d", s.queryIDs.Add(1))
+		}
 		w.Header().Set("X-Query-Id", id)
+		r = r.WithContext(WithQueryID(r.Context(), id))
 		start := time.Now()
 		next.ServeHTTP(w, r)
 		s.logger().Debug("request",
@@ -128,7 +175,11 @@ func (s *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, tr, err := s.QueryEx(p, QueryOpts{Explain: req.Explain, Engine: req.Engine})
+	res, tr, err := s.QueryEx(p, QueryOpts{
+		Explain: req.Explain,
+		Engine:  req.Engine,
+		QueryID: QueryIDFrom(r.Context()),
+	})
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -223,6 +274,7 @@ func (s *DB) handleLoad(w http.ResponseWriter, r *http.Request) {
 		Format:     q.Get("format"),
 		CreateSpec: q.Get("create"),
 		Layout:     q.Get("layout"),
+		QueryID:    QueryIDFrom(r.Context()),
 	}
 	if spec.Format == "" {
 		spec.Format = "csv"
@@ -318,6 +370,64 @@ func (s *DB) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 		"shapes":  rep.Shapes,
 		"micros":  time.Since(start).Microseconds(),
 	})
+}
+
+// handleEvents replays the cluster event journal: ?since=N resumes from
+// a cursor (0 = oldest retained), ?limit=N caps one page (default 256,
+// max 1024). The response carries the next cursor and how many events
+// the ring evicted before the reader got to them.
+func (s *DB) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", v))
+			return
+		}
+		since = n
+	}
+	limit := 256
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = min(n, 1024)
+	}
+	events, next, evicted := s.Events(since, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events": events, "next": next, "evicted": evicted,
+	})
+}
+
+// handleHistory serves the in-process metrics history ring in
+// chronological order.
+func (s *DB) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	samples, interval := s.History()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"intervalSeconds": interval.Seconds(),
+		"samples":         samples,
+	})
+}
+
+// handleReplication serves the node's replication view: per-follower
+// cursors and lag on a primary, apply position and lag on a replica.
+func (s *DB) handleReplication(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Replication())
 }
 
 // handleHealthz is the liveness/role probe. It always answers 200 as

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"repro/internal/persist"
 	"repro/internal/storage"
@@ -34,6 +35,9 @@ type LoadSpec struct {
 	// Layout picks the created table's partitioning: "row" (default) or
 	// "column".
 	Layout string
+	// QueryID, when non-empty, stamps the load's WAL commits (create and
+	// every batch) with the request's correlation id for write tracing.
+	QueryID string
 }
 
 // LoadResult reports a finished bulk load.
@@ -82,7 +86,7 @@ func (s *DB) Load(spec LoadSpec, r io.Reader) (LoadResult, error) {
 		if err != nil {
 			return res, err
 		}
-		if err := s.applyLoadBatch(spec.Table, width, raw); err != nil {
+		if err := s.applyLoadBatch(spec.Table, width, raw, spec.QueryID); err != nil {
 			return res, err
 		}
 		res.Rows += len(raw)
@@ -130,6 +134,9 @@ func (s *DB) loadTarget(spec LoadSpec) (*storage.Relation, bool, error) {
 	tx := s.core().BeginWrite()
 	tx.AddTable(rel)
 	if m := s.mgr(); m != nil {
+		if spec.QueryID != "" {
+			m.Tag(spec.QueryID)
+		}
 		if err := m.LogCreateTable(tx.Catalog(), spec.Table); err != nil {
 			s.stats.persistErrs.Add(1)
 			return nil, false, fmt.Errorf("%w: create not logged, table not created (safe to retry): %v", ErrDurability, err)
@@ -147,7 +154,7 @@ func (s *DB) loadTarget(spec LoadSpec) (*storage.Relation, bool, error) {
 // consistent either way). Dictionary appends land in the shared,
 // append-only dictionaries before the publish — harmless to concurrent
 // readers, whose pinned rows only reference the pre-existing prefix.
-func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) error {
+func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field, qid string) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	tx := s.core().BeginWrite()
@@ -180,9 +187,21 @@ func (s *DB) applyLoadBatch(table string, width int, raw [][]persist.Field) erro
 		return encErr
 	}
 	if m := s.mgr(); m != nil {
+		if qid != "" {
+			m.Tag(qid)
+		}
 		if err := m.LogInsert(table, width, rows); err != nil {
 			s.stats.persistErrs.Add(1)
 			return fmt.Errorf("%w: batch not logged, rows not applied (resume from rowsApplied): %v", ErrDurability, err)
+		}
+		// Coalescing can defer the commit past this batch, so only log a
+		// stamped commit that actually carries this load's id.
+		if seq, _, lqid := m.LastCommit(); qid != "" && lqid == qid {
+			s.logger().Debug("wal commit",
+				slog.String("id", qid),
+				slog.Int64("commitSeq", seq),
+				slog.String("table", table),
+				slog.Int("rows", len(rows)))
 		}
 	}
 	tx.Insert(table, rows)

@@ -247,6 +247,11 @@ func (s *DB) Metrics() *obs.Registry { return s.metrics.reg }
 // slog.Default). Safe to call while serving.
 func (s *DB) SetLogger(l *slog.Logger) { s.logPtr.Store(l) }
 
+// Logger returns the current structured logger (never nil) — the repl
+// tail loop logs correlated apply lines through it, so one X-Query-Id
+// grep covers primary and replica output alike.
+func (s *DB) Logger() *slog.Logger { return s.logger() }
+
 // logger returns the current structured logger, never nil.
 func (s *DB) logger() *slog.Logger {
 	if l := s.logPtr.Load(); l != nil {

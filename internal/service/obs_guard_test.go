@@ -28,6 +28,10 @@ func TestDisarmedTraceOverheadGuard(t *testing.T) {
 	q := DemoQuery(0.1)
 	s := New(NewDemoDB(rows), Config{Workers: 0, MaxInFlight: 8})
 	defer s.Close()
+	// The event journal is always on, and the history sampler runs hot
+	// here: both must be invisible to the query path (the journal only
+	// costs when an event fires; history is a pull from its own goroutine).
+	s.StartHistory(time.Second)
 	if _, err := s.Query(q); err != nil { // warm: compile + cache the plan
 		t.Fatal(err)
 	}

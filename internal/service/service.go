@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,12 +160,24 @@ type DB struct {
 	// slow-query threshold in nanoseconds (0 = disarmed; non-zero also
 	// arms tracing on every read so the logged operator numbers are
 	// real), the structured logger, and the query-id sequence the HTTP
-	// middleware draws X-Query-Id values from.
+	// middleware draws X-Query-Id values from (client-supplied ids that
+	// validate are kept instead).
 	metrics   *svcMetrics
 	slowNanos atomic.Int64
 	logPtr    atomic.Pointer[slog.Logger]
 	queryIDs  atomic.Uint64
 	start     time.Time
+
+	// Event journal (events.go): the bounded ring behind GET /events,
+	// plus the once-per-second limiter on overload events. The metrics
+	// history ring (history.go) lives behind GET /history; followers is
+	// the primary's per-follower replication progress registry behind
+	// GET /replication, fed by X-Repl-* ack headers on WAL tail polls.
+	journal      *obs.Journal
+	lastOverload atomic.Int64
+	history      history
+	followMu     sync.Mutex
+	followMap    map[string]*followerInfo
 
 	// Workload telemetry: always-on capture of per-column access
 	// frequencies and plan-shape counts. Footprints are resolved once
@@ -204,6 +217,10 @@ type replCounters struct {
 	syncs      atomic.Int64 // snapshot bootstraps (1 = initial, more = resyncs)
 	retries    atomic.Int64 // replica: failed bootstrap/tail attempts that were retried
 	state      atomic.Value // replica: tail-loop state machine (string)
+	// visibleLagNanos is the replica's last measured commit-to-visible
+	// lag: primary commit wall-clock time (shipped on the tail response)
+	// to local apply-publish, 0 when unknown (no stamp covered the chunk).
+	visibleLagNanos atomic.Int64
 }
 
 // planLRU is the compiled-plan cache: most recent at the list front,
@@ -341,6 +358,8 @@ func New(db *core.DB, cfg Config) *DB {
 		queueTimeout: timeout,
 		start:        time.Now(),
 		capture:      workload.NewCapture(0),
+		journal:      obs.NewJournal(obs.DefaultJournalSize),
+		followMap:    map[string]*followerInfo{},
 	}
 	s.dbPtr.Store(db)
 	// Every node starts at term 1; replicas adopt the primary's term on
@@ -376,11 +395,12 @@ func (s *DB) DetachPersist() *persist.Manager {
 // mgr returns the attached durability manager (nil = in-memory only).
 func (s *DB) mgr() *persist.Manager { return s.persistMgr.Load() }
 
-// Close stops the advisor loop and the shared pool. In-flight queries
-// finish (a closed pool degrades to inline serial execution); new
-// queries keep working serially.
+// Close stops the advisor and history loops and the shared pool.
+// In-flight queries finish (a closed pool degrades to inline serial
+// execution); new queries keep working serially.
 func (s *DB) Close() {
 	s.StopAdvisor()
+	s.StopHistory()
 	if s.pool != nil {
 		s.pool.Close()
 	}
@@ -417,6 +437,7 @@ func (s *DB) admit() (release func(), err error) {
 		case <-t.C:
 			s.stats.rejected.Add(1)
 			s.metrics.queueWait.ObserveSince(wait)
+			s.noteOverload()
 			return nil, ErrOverloaded
 		}
 	}
@@ -530,6 +551,11 @@ type QueryOpts struct {
 	// (compiled, plan-cached — the default) or "vector" (batch-at-a-time
 	// vectorized, uncached). Inserts ignore it.
 	Engine string
+	// QueryID is the request's correlation id (the X-Query-Id the HTTP
+	// layer assigned or accepted). Inserts stamp it onto the WAL commit,
+	// so the same id resurfaces in the primary's commit log line, the
+	// shipped tail's headers and every replica's apply log line.
+	QueryID string
 }
 
 // QueryEx is Query with options: it executes p and, when o.Explain is
@@ -566,7 +592,7 @@ func (s *DB) runOpts(p plan.Node, key string, o QueryOpts) (*result.Set, *obs.Qu
 	var res *result.Set
 	var tr *obs.QueryTrace
 	if _, ok := p.(plan.Insert); ok {
-		res, err = s.runInsert(p)
+		res, err = s.runInsert(p, o.QueryID)
 	} else {
 		// A non-zero slow-query threshold arms tracing on every read, so
 		// a query that turns out slow logs its real operator numbers.
@@ -677,8 +703,9 @@ func (s *DB) runReadVector(p plan.Node, key string, armed bool) (*result.Set, *o
 // with nothing applied (safe to retry); concurrent readers on pinned
 // snapshots never see the rows until the publish. The commit drops every
 // cached plan — entries are epoch-keyed, so stale ones could never be
-// reused, but without the flush they would linger in the LRU.
-func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
+// reused, but without the flush they would linger in the LRU. A non-empty
+// qid is stamped onto the WAL commit for end-to-end write tracing.
+func (s *DB) runInsert(p plan.Node, qid string) (*result.Set, error) {
 	if err := s.writeGuard(); err != nil {
 		return nil, err
 	}
@@ -692,9 +719,21 @@ func (s *DB) runInsert(p plan.Node) (*result.Set, error) {
 		ins := p.(plan.Insert)
 		if m := s.mgr(); m != nil {
 			width := tx.Catalog().Table(ins.Table).Schema.Width()
+			if qid != "" {
+				m.Tag(qid)
+			}
 			if err := m.LogInsert(ins.Table, width, ins.Rows); err != nil {
 				s.stats.persistErrs.Add(1)
 				return nil, fmt.Errorf("%w: insert not logged, nothing applied (safe to retry): %v", ErrDurability, err)
+			}
+			// The coalescer may hold the rows back; only a commit that
+			// actually carries this id gets the correlated log line.
+			if seq, _, lqid := m.LastCommit(); qid != "" && lqid == qid {
+				s.logger().Debug("wal commit",
+					slog.String("id", qid),
+					slog.Int64("commitSeq", seq),
+					slog.String("table", ins.Table),
+					slog.Int("rows", len(ins.Rows)))
 			}
 		}
 		res := tx.Insert(ins.Table, ins.Rows)
@@ -800,6 +839,11 @@ func (s *DB) OptimizeLayouts() ([]core.LayoutChange, error) {
 	if len(changes) > 0 {
 		tx.Commit()
 		s.invalidate()
+		data := map[string]string{"tables": strconv.Itoa(len(changes))}
+		for _, ch := range changes {
+			data[ch.Table] = ch.Old.String() + "->" + ch.New.String()
+		}
+		s.Event(EventRelayout, "layout optimizer changed physical layouts", data)
 	}
 	return changes, nil
 }
@@ -822,6 +866,7 @@ func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	s.Event(EventCheckpointBegin, "checkpoint started", nil)
 	s.commitMu.Lock()
 	pos, err := m.BeginCheckpoint()
 	if err != nil {
@@ -840,6 +885,11 @@ func (s *DB) Checkpoint() (persist.CheckpointInfo, error) {
 	}
 	s.metrics.ckptSeconds.ObserveSince(start)
 	s.stats.checkpoints.Add(1)
+	s.Event(EventCheckpointEnd, "snapshot written, WAL rotated", map[string]string{
+		"snapshotBytes":   strconv.FormatInt(info.SnapshotBytes, 10),
+		"walBytesDropped": strconv.FormatInt(info.WALBytes, 10),
+		"walEpoch":        strconv.FormatUint(m.Epoch(), 10),
+	})
 	return info, nil
 }
 
@@ -929,28 +979,39 @@ type statsCounters struct {
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
-	Queries        int64 `json:"queries"`            // successfully executed
-	Failed         int64 `json:"failed"`             // validation/decode failures
-	Queued         int64 `json:"queued"`             // waited for an admission slot
-	Rejected       int64 `json:"rejected"`           // admission timeouts (ErrOverloaded)
-	Prepared       int64 `json:"prepared"`           // Prepare calls
-	PlanCacheHits  int64 `json:"planCacheHits"`      // executions reusing a compiled plan
-	PlanCacheMiss  int64 `json:"planCacheMisses"`    // executions that compiled
-	PlanEvictions  int64 `json:"planCacheEvictions"` // LRU evictions (not DDL flushes)
-	Relayouts      int64 `json:"relayouts"`          // OptimizeLayouts runs
-	Rows           int64 `json:"rows"`               // total result rows served
-	ExecNanos      int64 `json:"execNanos"`          // summed wall time inside execution
-	InFlight       int64 `json:"inFlight"`           // currently executing
-	Workers        int   `json:"workers"`            // shared pool size (1 = serial)
-	MaxInFlight    int   `json:"maxInFlight"`        // admission bound
-	Persistent     bool  `json:"persistent"`         // durability attached
-	WALBytes       int64 `json:"walBytes"`           // current WAL length (0 without persistence)
-	Checkpoints    int64 `json:"checkpoints"`        // completed checkpoints
-	PersistErrors  int64 `json:"persistErrors"`      // failed WAL/checkpoint operations
-	Loads          int64 `json:"loads"`              // completed bulk loads
-	LoadedRows     int64 `json:"loadedRows"`         // rows ingested by bulk loads
-	PlanCacheSize  int   `json:"planCacheSize"`      // current entry count
-	PlanCacheLimit int   `json:"planCacheLimit"`     // LRU capacity
+	Queries       int64 `json:"queries"`            // successfully executed
+	Failed        int64 `json:"failed"`             // validation/decode failures
+	Queued        int64 `json:"queued"`             // waited for an admission slot
+	Rejected      int64 `json:"rejected"`           // admission timeouts (ErrOverloaded)
+	Prepared      int64 `json:"prepared"`           // Prepare calls
+	PlanCacheHits int64 `json:"planCacheHits"`      // executions reusing a compiled plan
+	PlanCacheMiss int64 `json:"planCacheMisses"`    // executions that compiled
+	PlanEvictions int64 `json:"planCacheEvictions"` // LRU evictions (not DDL flushes)
+	Relayouts     int64 `json:"relayouts"`          // OptimizeLayouts runs
+	Rows          int64 `json:"rows"`               // total result rows served
+	ExecNanos     int64 `json:"execNanos"`          // summed wall time inside execution
+	InFlight      int64 `json:"inFlight"`           // currently executing
+
+	// Derived latency summaries: interpolated quantiles over the
+	// end-to-end histogram of successful queries since start (the same
+	// estimate Prometheus histogram_quantile would give on
+	// db_query_latency_seconds), plus the queue-wait p99. All zero until
+	// the first query.
+	LatencyP50Ms   float64 `json:"latencyP50Ms"`
+	LatencyP95Ms   float64 `json:"latencyP95Ms"`
+	LatencyP99Ms   float64 `json:"latencyP99Ms"`
+	QueueWaitP99Ms float64 `json:"queueWaitP99Ms"`
+
+	Workers        int   `json:"workers"`        // shared pool size (1 = serial)
+	MaxInFlight    int   `json:"maxInFlight"`    // admission bound
+	Persistent     bool  `json:"persistent"`     // durability attached
+	WALBytes       int64 `json:"walBytes"`       // current WAL length (0 without persistence)
+	Checkpoints    int64 `json:"checkpoints"`    // completed checkpoints
+	PersistErrors  int64 `json:"persistErrors"`  // failed WAL/checkpoint operations
+	Loads          int64 `json:"loads"`          // completed bulk loads
+	LoadedRows     int64 `json:"loadedRows"`     // rows ingested by bulk loads
+	PlanCacheSize  int   `json:"planCacheSize"`  // current entry count
+	PlanCacheLimit int   `json:"planCacheLimit"` // LRU capacity
 	// PlanCacheShapes counts the distinct constant-normalized plan shapes
 	// behind the cached entries. Keys embed constants (compiled plans bake
 	// them in), so size ≫ shapes means a parameter-sweeping workload is
@@ -973,22 +1034,23 @@ type Stats struct {
 	// primary's committed WAL. Term is the fencing token ordering
 	// primaries across failovers; a fenced node is a superseded primary
 	// rejecting writes.
-	Role                  string `json:"role"`
-	Term                  uint64 `json:"term"`                  // fencing term (promotion takes term+1)
-	Fenced                bool   `json:"fenced"`                // superseded primary: writes rejected
-	FencedBy              string `json:"fencedBy,omitempty"`    // superseding primary, when known
-	Followers             int64  `json:"followers"`             // primary: connected WAL tail streams
-	ReplPrimary           string `json:"replPrimary,omitempty"` // replica: the primary's URL
-	ReplEpoch             uint64 `json:"replEpoch"`             // replica: epoch being applied
-	ReplOffset            int64  `json:"replOffset"`            // replica: applied WAL offset (bytes)
-	ReplRecords           int64  `json:"replRecords"`           // replica: applied mutation records
-	ReplicationLagBytes   int64  `json:"replicationLagBytes"`   // replica: committed bytes not yet applied
-	ReplicationLagRecords int64  `json:"replicationLagRecords"` // replica: records not yet applied
-	ReplSyncs             int64  `json:"replSyncs"`             // replica: snapshot bootstraps (>1 = resyncs)
-	ReplRetries           int64  `json:"replRetries"`           // replica: retried bootstrap/tail failures
-	ReplState             string `json:"replState,omitempty"`   // replica: tail-loop state machine
-	PromoteEligible       bool   `json:"promoteEligible"`       // replica: primary unreachable past threshold
-	Degraded              bool   `json:"degraded"`              // replica serving reads without a reachable primary
+	Role                  string  `json:"role"`
+	Term                  uint64  `json:"term"`                  // fencing term (promotion takes term+1)
+	Fenced                bool    `json:"fenced"`                // superseded primary: writes rejected
+	FencedBy              string  `json:"fencedBy,omitempty"`    // superseding primary, when known
+	Followers             int64   `json:"followers"`             // primary: connected WAL tail streams
+	ReplPrimary           string  `json:"replPrimary,omitempty"` // replica: the primary's URL
+	ReplEpoch             uint64  `json:"replEpoch"`             // replica: epoch being applied
+	ReplOffset            int64   `json:"replOffset"`            // replica: applied WAL offset (bytes)
+	ReplRecords           int64   `json:"replRecords"`           // replica: applied mutation records
+	ReplicationLagBytes   int64   `json:"replicationLagBytes"`   // replica: committed bytes not yet applied
+	ReplicationLagRecords int64   `json:"replicationLagRecords"` // replica: records not yet applied
+	ReplVisibleLagMs      float64 `json:"replVisibleLagMs"`      // replica: commit-to-visible lag, last measured (0 = unknown)
+	ReplSyncs             int64   `json:"replSyncs"`             // replica: snapshot bootstraps (>1 = resyncs)
+	ReplRetries           int64   `json:"replRetries"`           // replica: retried bootstrap/tail failures
+	ReplState             string  `json:"replState,omitempty"`   // replica: tail-loop state machine
+	PromoteEligible       bool    `json:"promoteEligible"`       // replica: primary unreachable past threshold
+	Degraded              bool    `json:"degraded"`              // replica serving reads without a reachable primary
 }
 
 // Stats snapshots the counters.
@@ -1019,6 +1081,14 @@ func (s *DB) Stats() Stats {
 		PlanCacheLimit:  cacheCap,
 		PlanCacheShapes: cacheShapes,
 	}
+	if snap := s.metrics.latOK.Snapshot(); snap.Count > 0 {
+		st.LatencyP50Ms = snap.Quantile(0.5) * 1000
+		st.LatencyP95Ms = snap.Quantile(0.95) * 1000
+		st.LatencyP99Ms = snap.Quantile(0.99) * 1000
+	}
+	if snap := s.metrics.queueWait.Snapshot(); snap.Count > 0 {
+		st.QueueWaitP99Ms = snap.Quantile(0.99) * 1000
+	}
 	db := s.core()
 	st.Epoch = db.Epoch()
 	st.ActiveSnapshots = db.ActiveSnapshots()
@@ -1044,6 +1114,7 @@ func (s *DB) Stats() Stats {
 		st.ReplRecords = s.repl.records.Load()
 		st.ReplicationLagBytes = s.repl.lagBytes.Load()
 		st.ReplicationLagRecords = s.repl.lagRecords.Load()
+		st.ReplVisibleLagMs = float64(s.repl.visibleLagNanos.Load()) / 1e6
 	}
 	st.ReplSyncs = s.repl.syncs.Load()
 	st.ReplRetries = s.repl.retries.Load()
